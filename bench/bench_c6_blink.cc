@@ -1,0 +1,97 @@
+// C6 — §1.1 rationale: "Concurrent B-link tree algorithms have been found
+// to provide the highest concurrency of all concurrent B-tree algorithms"
+// — why the B-link tree is the right base for a distributed protocol.
+//
+// google-benchmark microbenchmarks: the shared-memory B-link tree versus
+// a single reader-writer-lock tree across thread counts and mixes.
+
+#include <benchmark/benchmark.h>
+
+#include "src/blink/blink_tree.h"
+#include "src/blink/lock_tree.h"
+#include "src/util/rng.h"
+
+namespace lazytree {
+namespace {
+
+constexpr size_t kPreload = 100000;
+
+template <typename Tree>
+std::unique_ptr<Tree> MakePreloaded() {
+  auto tree = std::make_unique<Tree>();
+  Rng rng(7);
+  for (size_t i = 0; i < kPreload; ++i) {
+    tree->Insert(rng.Range(1, 1ull << 40), i);
+  }
+  return tree;
+}
+
+template <typename Tree>
+void MixedWorkload(benchmark::State& state, Tree& tree,
+                   double insert_fraction) {
+  Rng rng(1234 + state.thread_index());
+  for (auto _ : state) {
+    Key k = rng.Range(1, 1ull << 40);
+    if (rng.NextDouble() < insert_fraction) {
+      benchmark::DoNotOptimize(tree.Insert(k, 1));
+    } else {
+      benchmark::DoNotOptimize(tree.Search(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BlinkTree* SharedBlink() {
+  static BlinkTree* tree = [] {
+    auto t = new BlinkTree(64);
+    Rng rng(7);
+    for (size_t i = 0; i < kPreload; ++i) {
+      t->Insert(rng.Range(1, 1ull << 40), i);
+    }
+    return t;
+  }();
+  return tree;
+}
+
+LockTree* SharedLock() {
+  static LockTree* tree = [] {
+    auto t = new LockTree();
+    Rng rng(7);
+    for (size_t i = 0; i < kPreload; ++i) {
+      t->Insert(rng.Range(1, 1ull << 40), i);
+    }
+    return t;
+  }();
+  return tree;
+}
+
+void BM_Blink_ReadOnly(benchmark::State& state) {
+  MixedWorkload(state, *SharedBlink(), 0.0);
+}
+void BM_Lock_ReadOnly(benchmark::State& state) {
+  MixedWorkload(state, *SharedLock(), 0.0);
+}
+void BM_Blink_Mixed20(benchmark::State& state) {
+  MixedWorkload(state, *SharedBlink(), 0.2);
+}
+void BM_Lock_Mixed20(benchmark::State& state) {
+  MixedWorkload(state, *SharedLock(), 0.2);
+}
+void BM_Blink_WriteHeavy(benchmark::State& state) {
+  MixedWorkload(state, *SharedBlink(), 0.8);
+}
+void BM_Lock_WriteHeavy(benchmark::State& state) {
+  MixedWorkload(state, *SharedLock(), 0.8);
+}
+
+BENCHMARK(BM_Blink_ReadOnly)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_Lock_ReadOnly)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_Blink_Mixed20)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_Lock_Mixed20)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_Blink_WriteHeavy)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_Lock_WriteHeavy)->Threads(1)->Threads(4)->Threads(8);
+
+}  // namespace
+}  // namespace lazytree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,280 @@
+#include "src/blink/blink_tree.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lazytree {
+
+BlinkTree::BlinkTree(size_t max_entries) : max_entries_(max_entries) {
+  LAZYTREE_CHECK(max_entries_ >= 2) << "capacity too small to split";
+  root_.store(NewNode(/*level=*/0));
+}
+
+BlinkTree::~BlinkTree() = default;
+
+BlinkTree::BNode* BlinkTree::NewNode(int32_t level) {
+  auto node = std::make_unique<BNode>();
+  node->level = level;
+  BNode* raw = node.get();
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  arena_.push_back(std::move(node));
+  return raw;
+}
+
+int32_t BlinkTree::Height() const {
+  return root_.load(std::memory_order_acquire)->level + 1;
+}
+
+bool BlinkTree::NodeInsert(BNode& n, Key key, uint64_t payload) {
+  auto it = std::lower_bound(n.keys.begin(), n.keys.end(), key);
+  if (it != n.keys.end() && *it == key) return false;
+  size_t idx = static_cast<size_t>(it - n.keys.begin());
+  n.keys.insert(it, key);
+  n.payloads.insert(n.payloads.begin() + idx, payload);
+  return true;
+}
+
+BlinkTree::BNode* BlinkTree::DescendToLeaf(Key key,
+                                           std::vector<BNode*>* path) const {
+  BNode* cur = root_.load(std::memory_order_acquire);
+  if (path != nullptr) {
+    path->assign(static_cast<size_t>(cur->level) + 1, nullptr);
+  }
+  while (true) {
+    BNode* next = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(cur->mu);
+      if (key >= cur->high) {
+        next = cur->right;  // concurrent split: chase the link
+      } else if (cur->level == 0) {
+        return cur;
+      } else {
+        if (path != nullptr &&
+            static_cast<size_t>(cur->level) < path->size()) {
+          (*path)[cur->level] = cur;
+        }
+        auto it = std::upper_bound(cur->keys.begin(), cur->keys.end(), key);
+        LAZYTREE_CHECK(it != cur->keys.begin())
+            << "blink descent below first separator";
+        next = reinterpret_cast<BNode*>(
+            cur->payloads[static_cast<size_t>(it - cur->keys.begin()) - 1]);
+      }
+    }
+    cur = next;
+  }
+}
+
+std::optional<Value> BlinkTree::Search(Key key) const {
+  BNode* leaf = DescendToLeaf(key, nullptr);
+  while (true) {
+    BNode* next = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(leaf->mu);
+      if (key >= leaf->high) {
+        next = leaf->right;
+      } else {
+        auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(),
+                                   key);
+        if (it != leaf->keys.end() && *it == key) {
+          return leaf->payloads[static_cast<size_t>(
+              it - leaf->keys.begin())];
+        }
+        return std::nullopt;
+      }
+    }
+    leaf = next;
+  }
+}
+
+bool BlinkTree::Delete(Key key) {
+  BNode* leaf = DescendToLeaf(key, nullptr);
+  std::unique_lock<std::shared_mutex> lock(leaf->mu);
+  while (key >= leaf->high) {
+    BNode* next = leaf->right;
+    lock.unlock();
+    leaf = next;
+    lock = std::unique_lock<std::shared_mutex>(leaf->mu);
+  }
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+  leaf->keys.erase(it);
+  leaf->payloads.erase(leaf->payloads.begin() + idx);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return true;  // free-at-empty: an emptied leaf stays linked
+}
+
+std::vector<std::pair<Key, Value>> BlinkTree::Scan(Key start,
+                                                   size_t limit) const {
+  std::vector<std::pair<Key, Value>> out;
+  if (limit == 0) return out;
+  BNode* leaf = DescendToLeaf(start, nullptr);
+  Key cursor = start;
+  while (leaf != nullptr && out.size() < limit) {
+    BNode* next = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(leaf->mu);
+      if (cursor >= leaf->high) {
+        next = leaf->right;
+      } else {
+        auto it =
+            std::lower_bound(leaf->keys.begin(), leaf->keys.end(), cursor);
+        for (; it != leaf->keys.end() && out.size() < limit; ++it) {
+          out.emplace_back(*it,
+                           leaf->payloads[static_cast<size_t>(
+                               it - leaf->keys.begin())]);
+        }
+        if (out.size() >= limit || leaf->high == kKeyInfinity) return out;
+        cursor = leaf->high;
+        next = leaf->right;
+      }
+    }
+    leaf = next;
+  }
+  return out;
+}
+
+BlinkTree::BNode* BlinkTree::SplitLocked(BNode& n) {
+  const size_t keep = n.keys.size() / 2;
+  BNode* sibling = NewNode(n.level);
+  sibling->low = n.keys[keep];
+  sibling->high = n.high;
+  sibling->right = n.right;
+  sibling->keys.assign(n.keys.begin() + keep, n.keys.end());
+  sibling->payloads.assign(n.payloads.begin() + keep, n.payloads.end());
+  n.keys.resize(keep);
+  n.payloads.resize(keep);
+  n.high = sibling->low;
+  // Publish last: sibling is fully formed before it becomes reachable.
+  n.right = sibling;
+  return sibling;
+}
+
+bool BlinkTree::Insert(Key key, Value value) {
+  LAZYTREE_CHECK(key != kKeyInfinity) << "reserved key";
+  std::vector<BNode*> path;
+  BNode* leaf = DescendToLeaf(key, &path);
+  std::unique_lock<std::shared_mutex> lock(leaf->mu);
+  while (key >= leaf->high) {
+    BNode* next = leaf->right;
+    lock.unlock();
+    leaf = next;
+    lock = std::unique_lock<std::shared_mutex>(leaf->mu);
+  }
+  if (!NodeInsert(*leaf, key, value)) return false;
+  size_.fetch_add(1, std::memory_order_relaxed);
+  if (leaf->keys.size() > max_entries_) {
+    BNode* sibling = SplitLocked(*leaf);
+    Key sep = sibling->low;
+    lock.unlock();
+    InsertSeparator(path, /*parent_level=*/1, sep, sibling);
+  }
+  return true;
+}
+
+void BlinkTree::InsertSeparator(std::vector<BNode*>& path,
+                                int32_t parent_level, Key sep,
+                                BNode* sibling) {
+  while (true) {
+    // Locate the ancestor at parent_level covering `sep`.
+    BNode* node = nullptr;
+    if (static_cast<size_t>(parent_level) < path.size()) {
+      node = path[parent_level];
+    }
+    if (node == nullptr) {
+      BNode* top = root_.load(std::memory_order_acquire);
+      if (top->level < parent_level) {
+        GrowRoot(parent_level);
+        continue;  // re-resolve against the taller tree
+      }
+      // Descend from the root to parent_level.
+      node = top;
+      while (true) {
+        BNode* next = nullptr;
+        {
+          std::shared_lock<std::shared_mutex> l(node->mu);
+          if (sep >= node->high) {
+            next = node->right;
+          } else if (node->level == parent_level) {
+            break;
+          } else {
+            auto it = std::upper_bound(node->keys.begin(), node->keys.end(),
+                                       sep);
+            next = reinterpret_cast<BNode*>(
+                node->payloads[static_cast<size_t>(
+                                   it - node->keys.begin()) -
+                               1]);
+          }
+        }
+        if (next != nullptr) node = next;
+      }
+    }
+
+    std::unique_lock<std::shared_mutex> lock(node->mu);
+    while (sep >= node->high) {
+      BNode* next = node->right;
+      lock.unlock();
+      node = next;
+      lock = std::unique_lock<std::shared_mutex>(node->mu);
+    }
+    NodeInsert(*node, sep, reinterpret_cast<uint64_t>(sibling));
+    if (node->keys.size() <= max_entries_) return;
+    BNode* upper = SplitLocked(*node);
+    Key upper_sep = upper->low;
+    lock.unlock();
+    if (static_cast<size_t>(parent_level) < path.size()) {
+      path[parent_level] = nullptr;  // stale for the next level's search
+    }
+    sep = upper_sep;
+    sibling = upper;
+    ++parent_level;
+  }
+}
+
+void BlinkTree::GrowRoot(int32_t needed_level) {
+  std::lock_guard<std::mutex> lock(root_mu_);
+  BNode* old_root = root_.load(std::memory_order_acquire);
+  if (old_root->level >= needed_level) return;  // a racer grew already
+  // The old root pointer always names the leftmost node of the top level
+  // (its low stays 0 across splits), so a taller root over just that node
+  // is complete: everything else is reachable through right links, and
+  // pending separator inserts will land in the new root.
+  BNode* new_root = NewNode(old_root->level + 1);
+  new_root->keys = {0};
+  new_root->payloads = {reinterpret_cast<uint64_t>(old_root)};
+  root_.store(new_root, std::memory_order_release);
+}
+
+size_t BlinkTree::CheckStructure() const {
+  size_t violations = 0;
+  BNode* level_start = root_.load(std::memory_order_acquire);
+  while (level_start != nullptr) {
+    if (level_start->low != 0) ++violations;
+    Key expect_low = 0;
+    int64_t count = 0;
+    for (BNode* n = level_start; n != nullptr; n = n->right) {
+      if (n->low != expect_low) ++violations;
+      if (n->level != level_start->level) ++violations;
+      if (!std::is_sorted(n->keys.begin(), n->keys.end())) ++violations;
+      if (n->keys.size() != n->payloads.size()) ++violations;
+      if (n->level > 0) {
+        if (n->keys.empty() || n->keys.front() != n->low) ++violations;
+        for (uint64_t p : n->payloads) {
+          if (reinterpret_cast<BNode*>(p)->level != n->level - 1) {
+            ++violations;
+          }
+        }
+      }
+      expect_low = n->high;
+      if (++count > (1 << 28)) return violations + 1;  // cycle guard
+    }
+    if (expect_low != kKeyInfinity) ++violations;
+    level_start = level_start->level == 0
+                      ? nullptr
+                      : reinterpret_cast<BNode*>(level_start->payloads[0]);
+  }
+  return violations;
+}
+
+}  // namespace lazytree

@@ -1,0 +1,106 @@
+// BlinkTree: shared-memory concurrent B-link tree (Lehman–Yao [17],
+// Sagiv [18]) — the algorithm the dB-tree distributes (§1.1).
+//
+// Every node carries a right-sibling pointer and a high key; operations
+// hold at most one node latch at a time (no lock coupling), recovering
+// from concurrent splits by chasing right links. Nodes are never merged
+// (free-at-empty policy, [11]). Included both as the baseline the paper
+// builds on and for bench C6 (why B-link is the right starting point).
+
+#ifndef LAZYTREE_BLINK_BLINK_TREE_H_
+#define LAZYTREE_BLINK_BLINK_TREE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/msg/key.h"
+
+namespace lazytree {
+
+class BlinkTree {
+ public:
+  /// `max_entries`: node capacity before a half-split.
+  explicit BlinkTree(size_t max_entries = 64);
+  ~BlinkTree();
+
+  BlinkTree(const BlinkTree&) = delete;
+  BlinkTree& operator=(const BlinkTree&) = delete;
+
+  /// Inserts key -> value; false if the key already exists.
+  bool Insert(Key key, Value value);
+
+  /// Point lookup.
+  std::optional<Value> Search(Key key) const;
+
+  /// Removes a key; false if absent. Nodes are never merged
+  /// (free-at-empty, [11]).
+  bool Delete(Key key);
+
+  /// Up to `limit` entries with keys >= `start`, ascending, by walking
+  /// the leaf chain. Best-effort under concurrent updates.
+  std::vector<std::pair<Key, Value>> Scan(Key start, size_t limit) const;
+
+  /// Number of keys stored.
+  size_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Tree height (levels), for diagnostics.
+  int32_t Height() const;
+
+  /// Structural self-check (single-threaded use only): verifies level
+  /// chains, range partitioning, and key order. Returns violation count.
+  size_t CheckStructure() const;
+
+ private:
+  struct BNode {
+    mutable std::shared_mutex mu;
+    int32_t level = 0;              // 0 = leaf
+    Key low = 0;
+    Key high = kKeyInfinity;        // [low, high)
+    BNode* right = nullptr;
+    std::vector<Key> keys;          // sorted
+    std::vector<uint64_t> payloads; // leaf: Value; interior: BNode*
+
+    bool Contains(Key k) const { return k >= low && k < high; }
+  };
+
+  BNode* NewNode(int32_t level);
+
+  /// Descends from the current root to the leaf covering `key`, stashing
+  /// the visited node per level in `path` (levels above the leaf) for
+  /// the bottom-up split phase.
+  BNode* DescendToLeaf(Key key, std::vector<BNode*>* path) const;
+
+  /// Inserts (key, payload) into a locked node; returns false on dup.
+  static bool NodeInsert(BNode& n, Key key, uint64_t payload);
+
+  /// Splits a locked, overfull node; returns the new sibling (unlocked,
+  /// not yet published to the parent).
+  BNode* SplitLocked(BNode& n);
+
+  /// Inserts a separator for `sibling` into the ancestor at
+  /// `parent_level`, splitting upward as needed.
+  void InsertSeparator(std::vector<BNode*>& path, int32_t parent_level,
+                       Key sep, BNode* sibling);
+
+  /// Installs a new root so the tree reaches `needed_level`; no-op when
+  /// a racing grower already did.
+  void GrowRoot(int32_t needed_level);
+
+  const size_t max_entries_;
+  std::atomic<BNode*> root_;
+  std::atomic<size_t> size_{0};
+  std::mutex root_mu_;  // serializes root growth only
+
+  // Node arena: nodes live until the tree dies (never-merge policy makes
+  // this safe and keeps sibling pointers valid without hazard pointers).
+  std::mutex arena_mu_;
+  std::vector<std::unique_ptr<BNode>> arena_;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_BLINK_BLINK_TREE_H_

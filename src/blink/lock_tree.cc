@@ -1,0 +1,24 @@
+#include "src/blink/lock_tree.h"
+
+#include <mutex>
+
+namespace lazytree {
+
+bool LockTree::Insert(Key key, Value value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return map_.try_emplace(key, value).second;
+}
+
+std::optional<Value> LockTree::Search(Key key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t LockTree::Size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace lazytree

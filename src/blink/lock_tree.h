@@ -1,0 +1,30 @@
+// LockTree: the "one big lock" strawman for bench C6 — a dictionary
+// guarded by a single reader-writer lock. Its collapse under write load
+// is why B-link-style node-local synchronization (and, distributed, lazy
+// updates) matter.
+
+#ifndef LAZYTREE_BLINK_LOCK_TREE_H_
+#define LAZYTREE_BLINK_LOCK_TREE_H_
+
+#include <map>
+#include <optional>
+#include <shared_mutex>
+
+#include "src/msg/key.h"
+
+namespace lazytree {
+
+class LockTree {
+ public:
+  bool Insert(Key key, Value value);
+  std::optional<Value> Search(Key key) const;
+  size_t Size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<Key, Value> map_;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_BLINK_LOCK_TREE_H_

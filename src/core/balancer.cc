@@ -1,0 +1,80 @@
+#include "src/core/balancer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lazytree {
+
+Balancer::LoadStats Balancer::Measure() {
+  LoadStats stats;
+  for (ProcessorId id = 0; id < cluster_->size(); ++id) {
+    stats.per_host[id] = 0;
+  }
+  for (ProcessorId id = 0; id < cluster_->size(); ++id) {
+    cluster_->processor(id).store().ForEach([&](const Node& n) {
+      if (!n.is_leaf()) return;
+      ++stats.per_host[id];
+      ++stats.total_leaves;
+    });
+  }
+  stats.mean = static_cast<double>(stats.total_leaves) /
+               static_cast<double>(cluster_->size());
+  for (auto& [id, count] : stats.per_host) {
+    stats.max = std::max(stats.max, count);
+  }
+  stats.imbalance = stats.mean > 0
+                        ? static_cast<double>(stats.max) / stats.mean
+                        : 1.0;
+  return stats;
+}
+
+size_t Balancer::RebalanceOnce() {
+  // Collect (leaf, host) pairs and per-host loads.
+  struct Movable {
+    NodeId id;
+    ProcessorId host;
+  };
+  std::vector<Movable> leaves;
+  std::map<ProcessorId, int64_t> load;
+  for (ProcessorId id = 0; id < cluster_->size(); ++id) load[id] = 0;
+  for (ProcessorId id = 0; id < cluster_->size(); ++id) {
+    cluster_->processor(id).store().ForEach([&](const Node& n) {
+      if (!n.is_leaf()) return;
+      leaves.push_back({n.id(), id});
+      ++load[id];
+    });
+  }
+  if (leaves.empty()) return 0;
+  const int64_t target = static_cast<int64_t>(
+      (leaves.size() + cluster_->size() - 1) / cluster_->size());
+
+  // Greedy: donors give their surplus to the currently lightest host.
+  size_t issued = 0;
+  for (const Movable& leaf : leaves) {
+    if (load[leaf.host] <= target) continue;
+    auto lightest = std::min_element(
+        load.begin(), load.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (lightest->second >= target) break;  // everyone full enough
+    cluster_->MigrateNode(leaf.id, leaf.host, lightest->first);
+    --load[leaf.host];
+    ++lightest->second;
+    ++issued;
+  }
+  migrations_issued_ += issued;
+  return issued;
+}
+
+Balancer::LoadStats Balancer::RebalanceUntil(double target_imbalance,
+                                             int max_rounds) {
+  LoadStats stats = Measure();
+  for (int round = 0; round < max_rounds; ++round) {
+    if (stats.imbalance <= target_imbalance) break;
+    if (RebalanceOnce() == 0) break;
+    cluster_->Settle();
+    stats = Measure();
+  }
+  return stats;
+}
+
+}  // namespace lazytree

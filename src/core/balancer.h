@@ -1,0 +1,54 @@
+// Balancer: leaf-level data balancing for the mobile protocols ([14],
+// §4.2) — measures per-processor leaf load and issues migrations to even
+// it out. The protocol keeps the tree correct *while* leaves move; the
+// balancer only decides which leaf goes where.
+//
+// Use at (or between) quiescent points: Measure/RebalanceOnce read the
+// node stores directly. The protocols' own shed_threshold knob provides
+// fully-online shedding; this class implements the global, goal-directed
+// variant.
+
+#ifndef LAZYTREE_CORE_BALANCER_H_
+#define LAZYTREE_CORE_BALANCER_H_
+
+#include <map>
+
+#include "src/core/cluster.h"
+
+namespace lazytree {
+
+class Balancer {
+ public:
+  explicit Balancer(Cluster* cluster) : cluster_(cluster) {}
+
+  struct LoadStats {
+    size_t total_leaves = 0;
+    std::map<ProcessorId, size_t> per_host;
+    double mean = 0;
+    size_t max = 0;
+    /// max / mean; 1.0 is perfect balance.
+    double imbalance = 0;
+  };
+
+  /// Scans the stores (call only at quiescence).
+  LoadStats Measure();
+
+  /// Greedily plans migrations from over- to under-loaded processors and
+  /// issues them (without settling). Returns the number issued.
+  size_t RebalanceOnce();
+
+  /// Repeats RebalanceOnce + Settle until the imbalance target is met or
+  /// `max_rounds` passes. Returns the final stats.
+  LoadStats RebalanceUntil(double target_imbalance = 1.3,
+                           int max_rounds = 8);
+
+  uint64_t migrations_issued() const { return migrations_issued_; }
+
+ private:
+  Cluster* cluster_;
+  uint64_t migrations_issued_ = 0;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_CORE_BALANCER_H_

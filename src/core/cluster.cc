@@ -1,0 +1,389 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+#include <future>
+#include <set>
+#include <sstream>
+
+#include "src/protocol/mobile.h"
+#include "src/protocol/naive.h"
+#include "src/protocol/varcopies.h"
+#include "src/protocol/semisync_split.h"
+#include "src/protocol/sync_split.h"
+#include "src/protocol/vigorous.h"
+#include "src/util/logging.h"
+
+namespace lazytree {
+
+const char* ProtocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kSyncSplit: return "sync";
+    case ProtocolKind::kSemiSyncSplit: return "semisync";
+    case ProtocolKind::kNaive: return "naive";
+    case ProtocolKind::kVigorous: return "vigorous";
+    case ProtocolKind::kMobile: return "mobile";
+    case ProtocolKind::kVarCopies: return "varcopies";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<ProtocolHandler> MakeHandler(ProtocolKind kind,
+                                             Processor& p) {
+  switch (kind) {
+    case ProtocolKind::kSyncSplit:
+      return std::make_unique<SyncSplitProtocol>(p);
+    case ProtocolKind::kSemiSyncSplit:
+      return std::make_unique<SemiSyncSplitProtocol>(p);
+    case ProtocolKind::kNaive:
+      return std::make_unique<NaiveProtocol>(p);
+    case ProtocolKind::kVigorous:
+      return std::make_unique<VigorousProtocol>(p);
+    case ProtocolKind::kMobile:
+      return std::make_unique<MobileProtocol>(p);
+    case ProtocolKind::kVarCopies:
+      return std::make_unique<VarCopiesProtocol>(p);
+    default:
+      LAZYTREE_CHECK(false) << "protocol not yet wired into Cluster";
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)), history_(options_.tree.track_history) {
+  LAZYTREE_CHECK(options_.processors >= 1) << "need at least one processor";
+  if (options_.transport == TransportKind::kSim) {
+    auto sim = std::make_unique<net::SimNetwork>(options_.seed);
+    if (options_.sim_latency_us > 0) {
+      sim->EnableLatency(options_.sim_latency_us, options_.sim_jitter_us);
+    }
+    sim_ = sim.get();
+    base_network_ = std::move(sim);
+  } else {
+    base_network_ = std::make_unique<net::ThreadNetwork>();
+  }
+  network_ = base_network_.get();
+  if (options_.piggyback_window > 0) {
+    piggyback_ = std::make_unique<net::PiggybackNetwork>(
+        base_network_.get(), options_.piggyback_window);
+    network_ = piggyback_.get();
+  }
+  processors_.reserve(options_.processors);
+  for (ProcessorId id = 0; id < options_.processors; ++id) {
+    processors_.push_back(std::make_unique<Processor>(
+        id, options_.processors, network_, &history_, options_.tree));
+    processors_.back()->SetHandler(
+        MakeHandler(options_.protocol, *processors_.back()));
+  }
+}
+
+Cluster::~Cluster() { Stop(); }
+
+net::Network& Cluster::base_network() { return *base_network_; }
+
+void Cluster::Bootstrap() {
+  // The initial tree: an interior root over a single empty leaf, placed
+  // exactly where the protocol's deterministic placement expects them.
+  Processor& p0 = *processors_[0];
+  const NodeId root_id = p0.NewNodeId();
+  const NodeId leaf_id = p0.NewNodeId();
+  const uint32_t r = options_.tree.interior_replication;
+
+  std::vector<ProcessorId> root_copies;
+  std::vector<ProcessorId> leaf_copies;
+  switch (options_.protocol) {
+    case ProtocolKind::kMobile:
+      root_copies = {0};
+      leaf_copies = {0};
+      break;
+    case ProtocolKind::kVarCopies: {
+      // Root everywhere (Fig. 2 policy); the single leaf and its path
+      // start on processor 0.
+      for (ProcessorId id = 0; id < options_.processors; ++id) {
+        root_copies.push_back(id);
+      }
+      leaf_copies = {0};
+      break;
+    }
+    default:
+      root_copies = FixedCopySet(root_id, 1, options_.processors, r,
+                                 options_.tree.leaf_replication);
+      leaf_copies = FixedCopySet(leaf_id, 0, options_.processors, r,
+                                 options_.tree.leaf_replication);
+  }
+
+  NodeSnapshot leaf;
+  leaf.id = leaf_id;
+  leaf.level = 0;
+  leaf.range = KeyRange{0, kKeyInfinity};
+  leaf.parent = root_id;
+  leaf.copies = leaf_copies;
+  leaf.pc = leaf_copies.front();
+
+  NodeSnapshot root;
+  root.id = root_id;
+  root.level = 1;
+  root.range = KeyRange{0, kKeyInfinity};
+  root.entries = {Entry{0, leaf_id.v}};
+  root.copies = root_copies;
+  root.pc = root_copies.front();
+
+  for (ProcessorId holder : root_copies) {
+    processors_[holder]->InstallNode(
+        std::make_unique<Node>(root, options_.tree.track_history));
+  }
+  for (ProcessorId holder : leaf_copies) {
+    processors_[holder]->InstallNode(
+        std::make_unique<Node>(leaf, options_.tree.track_history));
+  }
+  for (auto& p : processors_) p->store().SetRootHint(root_id, 1);
+}
+
+void Cluster::Start() {
+  LAZYTREE_CHECK(!started_) << "Start called twice";
+  started_ = true;
+  Bootstrap();
+  network_->Start();
+}
+
+void Cluster::Stop() {
+  if (!started_) return;
+  network_->Stop();
+}
+
+OpId Cluster::InsertAsync(ProcessorId home, Key key, Value value,
+                          OpCallback cb) {
+  return processors_[home]->SubmitInsert(key, value, std::move(cb));
+}
+
+OpId Cluster::SearchAsync(ProcessorId home, Key key, OpCallback cb) {
+  return processors_[home]->SubmitSearch(key, std::move(cb));
+}
+
+OpId Cluster::DeleteAsync(ProcessorId home, Key key, OpCallback cb) {
+  return processors_[home]->SubmitDelete(key, std::move(cb));
+}
+
+OpId Cluster::ScanAsync(ProcessorId home, Key start, uint64_t limit,
+                        OpCallback cb) {
+  return processors_[home]->SubmitScan(start, limit, std::move(cb));
+}
+
+void Cluster::MigrateNode(NodeId node, ProcessorId host_hint,
+                          ProcessorId dest) {
+  Action cmd;
+  cmd.kind = ActionKind::kMigrateNode;
+  cmd.target = node;
+  cmd.members = {dest};
+  network_->Send(Message(dest, host_hint, std::move(cmd)));
+}
+
+Status Cluster::Insert(ProcessorId home, Key key, Value value) {
+  if (sim_ != nullptr) {
+    OpResult result;
+    bool done = false;
+    InsertAsync(home, key, value, [&](const OpResult& r) {
+      result = r;
+      done = true;
+    });
+    if (!Settle() || !done) return Status::TimedOut("insert did not settle");
+    return result.status;
+  }
+  std::promise<OpResult> promise;
+  auto future = promise.get_future();
+  InsertAsync(home, key, value,
+              [&promise](const OpResult& r) { promise.set_value(r); });
+  if (future.wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    return Status::TimedOut("insert stalled");
+  }
+  return future.get().status;
+}
+
+StatusOr<Value> Cluster::Search(ProcessorId home, Key key) {
+  if (sim_ != nullptr) {
+    OpResult result;
+    bool done = false;
+    SearchAsync(home, key, [&](const OpResult& r) {
+      result = r;
+      done = true;
+    });
+    if (!Settle() || !done) return Status::TimedOut("search did not settle");
+    if (!result.status.ok()) return result.status;
+    return result.value;
+  }
+  std::promise<OpResult> promise;
+  auto future = promise.get_future();
+  SearchAsync(home, key,
+              [&promise](const OpResult& r) { promise.set_value(r); });
+  if (future.wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    return Status::TimedOut("search stalled");
+  }
+  OpResult result = future.get();
+  if (!result.status.ok()) return result.status;
+  return result.value;
+}
+
+Status Cluster::Delete(ProcessorId home, Key key) {
+  if (sim_ != nullptr) {
+    OpResult result;
+    bool done = false;
+    DeleteAsync(home, key, [&](const OpResult& r) {
+      result = r;
+      done = true;
+    });
+    if (!Settle() || !done) return Status::TimedOut("delete did not settle");
+    return result.status;
+  }
+  std::promise<OpResult> promise;
+  auto future = promise.get_future();
+  DeleteAsync(home, key,
+              [&promise](const OpResult& r) { promise.set_value(r); });
+  if (future.wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    return Status::TimedOut("delete stalled");
+  }
+  return future.get().status;
+}
+
+StatusOr<std::vector<Entry>> Cluster::Scan(ProcessorId home, Key start,
+                                           uint64_t limit) {
+  if (sim_ != nullptr) {
+    OpResult result;
+    bool done = false;
+    ScanAsync(home, start, limit, [&](const OpResult& r) {
+      result = r;
+      done = true;
+    });
+    if (!Settle() || !done) return Status::TimedOut("scan did not settle");
+    if (!result.status.ok()) return result.status;
+    return result.entries;
+  }
+  std::promise<OpResult> promise;
+  auto future = promise.get_future();
+  ScanAsync(home, start, limit,
+            [&promise](const OpResult& r) { promise.set_value(r); });
+  if (future.wait_for(std::chrono::seconds(30)) !=
+      std::future_status::ready) {
+    return Status::TimedOut("scan stalled");
+  }
+  OpResult result = future.get();
+  if (!result.status.ok()) return result.status;
+  return result.entries;
+}
+
+bool Cluster::Settle(std::chrono::milliseconds timeout) {
+  return network_->WaitQuiescent(timeout);
+}
+
+std::map<history::CopyKey, NodeSnapshot> Cluster::CollectCopies() {
+  std::map<history::CopyKey, NodeSnapshot> copies;
+  for (auto& p : processors_) {
+    const ProcessorId id = p->id();
+    p->store().ForEach([&](const Node& node) {
+      copies[history::CopyKey{node.id(), id}] = node.ToSnapshot();
+    });
+  }
+  return copies;
+}
+
+history::CheckReport Cluster::VerifyHistories() {
+  return history::CheckAll(history_, CollectCopies());
+}
+
+std::vector<Entry> Cluster::DumpLeaves() {
+  // One representative copy per logical leaf (compatibility is checked
+  // separately); leaves are disjoint so concatenation sorted by range low
+  // yields the dictionary.
+  std::map<NodeId, NodeSnapshot> leaves;
+  for (auto& p : processors_) {
+    p->store().ForEach([&](const Node& node) {
+      if (node.level() != 0) return;
+      auto [it, fresh] = leaves.try_emplace(node.id(), node.ToSnapshot());
+      // Prefer the PC's copy as representative.
+      if (!fresh && node.pc() == p->id()) it->second = node.ToSnapshot();
+    });
+  }
+  std::vector<Entry> all;
+  for (auto& [id, snap] : leaves) {
+    all.insert(all.end(), snap.entries.begin(), snap.entries.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::vector<std::string> Cluster::CheckTreeStructure() {
+  std::vector<std::string> violations;
+  // Representative snapshot per logical node.
+  std::map<NodeId, NodeSnapshot> nodes;
+  int32_t max_level = 0;
+  for (auto& p : processors_) {
+    p->store().ForEach([&](const Node& node) {
+      nodes.try_emplace(node.id(), node.ToSnapshot());
+      max_level = std::max(max_level, node.level());
+    });
+  }
+  // Per level: ranges must chain [0 .. inf) along right links.
+  for (int32_t level = 0; level <= max_level; ++level) {
+    const NodeSnapshot* cur = nullptr;
+    for (auto& [id, snap] : nodes) {
+      if (snap.level == level && snap.range.low == 0) {
+        if (cur != nullptr) {
+          violations.push_back("level " + std::to_string(level) +
+                               ": two leftmost nodes");
+        }
+        cur = &snap;
+      }
+    }
+    if (cur == nullptr) {
+      violations.push_back("level " + std::to_string(level) +
+                           ": no leftmost node");
+      continue;
+    }
+    std::set<NodeId> seen;
+    while (true) {
+      if (!seen.insert(cur->id).second) {
+        violations.push_back("level " + std::to_string(level) +
+                             ": right-link cycle at " + cur->id.ToString());
+        break;
+      }
+      if (cur->range.high == kKeyInfinity) break;
+      if (cur->right_low != cur->range.high) {
+        violations.push_back(cur->id.ToString() +
+                             ": right_low != range.high");
+      }
+      auto it = nodes.find(cur->right);
+      if (it == nodes.end()) {
+        violations.push_back(cur->id.ToString() + ": dangling right link");
+        break;
+      }
+      if (it->second.range.low != cur->range.high) {
+        violations.push_back(cur->id.ToString() + " -> " +
+                             it->second.id.ToString() +
+                             ": range gap/overlap");
+        break;
+      }
+      cur = &it->second;
+    }
+  }
+  // Interior entries must point at existing nodes one level down.
+  for (auto& [id, snap] : nodes) {
+    if (snap.level == 0) continue;
+    for (const Entry& e : snap.entries) {
+      auto it = nodes.find(NodeId{e.payload});
+      if (it == nodes.end()) {
+        violations.push_back(id.ToString() + ": child " +
+                             NodeId{e.payload}.ToString() + " missing");
+      } else if (it->second.level != snap.level - 1) {
+        violations.push_back(id.ToString() + ": child level mismatch");
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace lazytree

@@ -1,0 +1,109 @@
+// Cluster: a set of simulated processors jointly maintaining one dB-tree.
+//
+// This is the engine behind the DBTree facade and the unit the tests and
+// benches drive directly: it wires processors to a transport, bootstraps
+// the initial tree under the chosen protocol's placement, and exposes the
+// §3 correctness checkers over the full distributed state.
+
+#ifndef LAZYTREE_CORE_CLUSTER_H_
+#define LAZYTREE_CORE_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/history/checker.h"
+#include "src/net/piggyback.h"
+#include "src/net/sim_network.h"
+#include "src/net/thread_network.h"
+
+namespace lazytree {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Bootstraps the initial tree and starts message delivery.
+  void Start();
+
+  /// Stops delivery. Idempotent; the destructor calls it.
+  void Stop();
+
+  const ClusterOptions& options() const { return options_; }
+  uint32_t size() const { return options_.processors; }
+  Processor& processor(ProcessorId id) { return *processors_[id]; }
+
+  /// Outermost network (piggybacking decorator when enabled).
+  net::Network& network() { return *network_; }
+  /// Non-null when the transport is the deterministic simulator.
+  net::SimNetwork* sim() { return sim_; }
+  history::HistoryLog& history_log() { return history_; }
+
+  // --- synchronous client operations (home = submitting processor) ---
+  Status Insert(ProcessorId home, Key key, Value value);
+  StatusOr<Value> Search(ProcessorId home, Key key);
+  Status Delete(ProcessorId home, Key key);
+  /// Up to `limit` entries with keys >= `start`, ascending. Best-effort
+  /// under concurrent updates (B-link scan semantics).
+  StatusOr<std::vector<Entry>> Scan(ProcessorId home, Key start,
+                                    uint64_t limit);
+
+  // --- asynchronous client operations ---
+  OpId InsertAsync(ProcessorId home, Key key, Value value, OpCallback cb);
+  OpId SearchAsync(ProcessorId home, Key key, OpCallback cb);
+  OpId DeleteAsync(ProcessorId home, Key key, OpCallback cb);
+  OpId ScanAsync(ProcessorId home, Key start, uint64_t limit,
+                 OpCallback cb);
+
+  /// Asks `host_hint` to migrate `node` to `dest` (§4.2 protocols only).
+  /// The command chases forwarding addresses if the node moved; it is
+  /// dropped (with a warning) if the node cannot be found.
+  void MigrateNode(NodeId node, ProcessorId host_hint, ProcessorId dest);
+
+  /// Drains all in-flight work (for the sim transport this *is* the
+  /// execution loop). Returns false on timeout/livelock.
+  bool Settle(std::chrono::milliseconds timeout =
+                  std::chrono::milliseconds(30000));
+
+  // --- whole-tree inspection (call only at quiescence) ---
+
+  /// Final value of every live copy, for CheckCompatible.
+  std::map<history::CopyKey, NodeSnapshot> CollectCopies();
+
+  /// Runs all three §3 history checks over the current state.
+  history::CheckReport VerifyHistories();
+
+  /// Union of all leaf contents (one copy per logical leaf), sorted by
+  /// key — the tree's logical dictionary, for oracle comparison.
+  std::vector<Entry> DumpLeaves();
+
+  /// Walks the tree's structural invariants (ranges partition the key
+  /// space per level, right links are consistent); returns violations.
+  std::vector<std::string> CheckTreeStructure();
+
+  net::StatsSnapshot NetStats() { return base_network().stats().Snapshot(); }
+
+  /// The undecorated transport (real message counts under piggybacking).
+  net::Network& base_network();
+
+ private:
+  void Bootstrap();
+
+  ClusterOptions options_;
+  history::HistoryLog history_;
+  std::unique_ptr<net::Network> base_network_;
+  std::unique_ptr<net::PiggybackNetwork> piggyback_;
+  net::Network* network_ = nullptr;  // outermost
+  net::SimNetwork* sim_ = nullptr;
+  std::vector<std::unique_ptr<Processor>> processors_;
+  bool started_ = false;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_CORE_CLUSTER_H_

@@ -1,0 +1,41 @@
+#include "src/core/dbtree.h"
+
+namespace lazytree {
+
+DBTree::DBTree(ClusterOptions options)
+    : cluster_(std::make_unique<Cluster>(std::move(options))) {
+  cluster_->Start();
+}
+
+DBTree::~DBTree() { cluster_->Stop(); }
+
+Status DBTree::Insert(Key key, Value value) {
+  return cluster_->Insert(NextHome(), key, value);
+}
+
+StatusOr<Value> DBTree::Search(Key key) {
+  return cluster_->Search(NextHome(), key);
+}
+
+Status DBTree::Delete(Key key) {
+  return cluster_->Delete(NextHome(), key);
+}
+
+StatusOr<std::vector<Entry>> DBTree::Scan(Key start, uint64_t limit) {
+  return cluster_->Scan(NextHome(), start, limit);
+}
+
+Status DBTree::InsertAt(ProcessorId home, Key key, Value value) {
+  return cluster_->Insert(home, key, value);
+}
+
+StatusOr<Value> DBTree::SearchAt(ProcessorId home, Key key) {
+  return cluster_->Search(home, key);
+}
+
+size_t DBTree::KeyCount() {
+  cluster_->Settle();
+  return cluster_->DumpLeaves().size();
+}
+
+}  // namespace lazytree

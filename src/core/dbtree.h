@@ -1,0 +1,64 @@
+// DBTree: the user-facing handle to a distributed, replicated B-link tree
+// maintained with lazy updates — the library's front door.
+//
+//   lazytree::ClusterOptions options;
+//   options.processors = 8;
+//   lazytree::DBTree tree(options);
+//   tree.Insert(42, 4200);
+//   auto v = tree.Search(42);   // -> 4200
+//
+// Operations are submitted at a home processor (round-robin by default —
+// every processor can initiate operations because the root is replicated,
+// §1.1). Use cluster() for multi-client drivers, async submission, stats,
+// and the correctness checkers.
+
+#ifndef LAZYTREE_CORE_DBTREE_H_
+#define LAZYTREE_CORE_DBTREE_H_
+
+#include <atomic>
+#include <memory>
+
+#include "src/core/cluster.h"
+
+namespace lazytree {
+
+class DBTree {
+ public:
+  /// Builds and starts a cluster with the given options.
+  explicit DBTree(ClusterOptions options);
+  ~DBTree();
+
+  /// Inserts key -> value. AlreadyExists unless options.tree.upsert.
+  Status Insert(Key key, Value value);
+
+  /// Looks up a key. NotFound on miss.
+  StatusOr<Value> Search(Key key);
+
+  /// Removes a key (free-at-empty: nodes are never merged, [11]).
+  Status Delete(Key key);
+
+  /// Range read: up to `limit` entries with keys >= `start`.
+  StatusOr<std::vector<Entry>> Scan(Key start, uint64_t limit);
+
+  /// Same, with an explicit home processor.
+  Status InsertAt(ProcessorId home, Key key, Value value);
+  StatusOr<Value> SearchAt(ProcessorId home, Key key);
+
+  /// Keys currently stored (counted from leaf contents at quiescence).
+  size_t KeyCount();
+
+  Cluster& cluster() { return *cluster_; }
+
+ private:
+  ProcessorId NextHome() {
+    return static_cast<ProcessorId>(next_home_.fetch_add(1) %
+                                    cluster_->size());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::atomic<uint64_t> next_home_{0};
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_CORE_DBTREE_H_

@@ -1,0 +1,84 @@
+#include "src/core/inspect.h"
+
+#include <set>
+#include <sstream>
+
+namespace lazytree {
+
+TreeStats CollectTreeStats(Cluster& cluster) {
+  TreeStats stats;
+  std::set<NodeId> seen;
+  for (ProcessorId id = 0; id < cluster.size(); ++id) {
+    cluster.processor(id).store().ForEach([&](const Node& n) {
+      LevelStats& level = stats.levels[n.level()];
+      ++level.copies;
+      if (n.is_leaf()) ++stats.leaves_per_host[id];
+      if (!seen.insert(n.id()).second) return;
+      ++level.nodes;
+      level.entries += n.size();
+      if (n.is_leaf()) stats.keys += n.size();
+      stats.height = std::max(stats.height, n.level() + 1);
+    });
+  }
+  return stats;
+}
+
+std::string TreeStats::ToString() const {
+  std::ostringstream os;
+  os << "height=" << height << " keys=" << keys;
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    os << "  L" << it->first << ": " << it->second.nodes << " nodes x"
+       << static_cast<int>(it->second.replication() * 10 + 0.5) / 10.0;
+  }
+  return os.str();
+}
+
+std::string ExportDot(Cluster& cluster) {
+  // Representative snapshot + copy holders per logical node.
+  std::map<NodeId, NodeSnapshot> nodes;
+  std::map<NodeId, std::vector<ProcessorId>> holders;
+  for (ProcessorId id = 0; id < cluster.size(); ++id) {
+    cluster.processor(id).store().ForEach([&](const Node& n) {
+      nodes.try_emplace(n.id(), n.ToSnapshot());
+      holders[n.id()].push_back(id);
+    });
+  }
+
+  std::ostringstream os;
+  os << "digraph lazytree {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=record, fontsize=9];\n";
+  // Cluster per level keeps ranks tidy.
+  std::map<int32_t, std::vector<NodeId>> by_level;
+  for (auto& [id, snap] : nodes) by_level[snap.level].push_back(id);
+  for (auto it = by_level.rbegin(); it != by_level.rend(); ++it) {
+    os << "  { rank=same;";
+    for (NodeId id : it->second) os << " \"" << id.ToString() << "\";";
+    os << " }\n";
+  }
+  for (auto& [id, snap] : nodes) {
+    os << "  \"" << id.ToString() << "\" [label=\"{" << id.ToString()
+       << " L" << snap.level << "|" << snap.range.ToString() << "|"
+       << snap.entries.size() << " entries|@";
+    for (size_t i = 0; i < holders[id].size(); ++i) {
+      if (i) os << ",";
+      os << "p" << holders[id][i];
+    }
+    os << "}\"];\n";
+    if (snap.level > 0) {
+      for (const Entry& e : snap.entries) {
+        os << "  \"" << id.ToString() << "\" -> \""
+           << NodeId{e.payload}.ToString() << "\";\n";
+      }
+    }
+    if (snap.right.valid()) {
+      os << "  \"" << id.ToString() << "\" -> \""
+         << snap.right.ToString()
+         << "\" [style=dashed, constraint=false, color=gray];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lazytree

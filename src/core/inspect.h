@@ -1,0 +1,48 @@
+// Cluster introspection: whole-tree statistics and a Graphviz export of
+// the distributed structure (nodes, ranges, right links, placement).
+// Read-only; call at quiescence.
+
+#ifndef LAZYTREE_CORE_INSPECT_H_
+#define LAZYTREE_CORE_INSPECT_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/cluster.h"
+
+namespace lazytree {
+
+struct LevelStats {
+  size_t nodes = 0;         ///< logical nodes at this level
+  size_t copies = 0;        ///< physical copies across processors
+  size_t entries = 0;       ///< entries summed over logical nodes
+  double replication() const {
+    return nodes ? static_cast<double>(copies) / nodes : 0;
+  }
+  double fill(size_t capacity) const {
+    return nodes ? static_cast<double>(entries) /
+                       (static_cast<double>(nodes) * capacity)
+                 : 0;
+  }
+};
+
+struct TreeStats {
+  int32_t height = 0;  ///< levels (leaf = 1)
+  size_t keys = 0;     ///< leaf entries
+  std::map<int32_t, LevelStats> levels;  ///< keyed by level, 0 = leaf
+  std::map<ProcessorId, size_t> leaves_per_host;
+
+  std::string ToString() const;
+};
+
+/// Collects whole-tree statistics from every processor's store.
+TreeStats CollectTreeStats(Cluster& cluster);
+
+/// Renders the logical tree as Graphviz DOT: one record per logical
+/// node (range, level, entry count), child edges, dashed right-sibling
+/// edges, and a label listing each node's copy holders.
+std::string ExportDot(Cluster& cluster);
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_CORE_INSPECT_H_

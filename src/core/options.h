@@ -1,0 +1,51 @@
+// Public configuration for a lazytree cluster.
+
+#ifndef LAZYTREE_CORE_OPTIONS_H_
+#define LAZYTREE_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/server/processor.h"
+
+namespace lazytree {
+
+/// Which replica-maintenance algorithm runs the tree (§4).
+enum class ProtocolKind {
+  kSyncSplit,      ///< §4.1.1 — AAS-ordered splits, blocks initial inserts
+  kSemiSyncSplit,  ///< §4.1.2 — history rewriting, never blocks (default)
+  kNaive,          ///< Fig. 4 strawman — loses inserts (tests/bench only)
+  kVigorous,       ///< available-copies baseline — locks every update
+  kMobile,         ///< §4.2 — single-copy nodes that migrate
+  kVarCopies,      ///< §4.3 — join/unjoin replication, mobile leaves
+};
+
+const char* ProtocolKindName(ProtocolKind kind);
+
+/// How the simulated processors exchange messages.
+enum class TransportKind {
+  kSim,      ///< deterministic seeded scheduler (tests; replayable)
+  kThreads,  ///< one worker thread per processor (benches; parallel)
+};
+
+struct ClusterOptions {
+  uint32_t processors = 4;
+  ProtocolKind protocol = ProtocolKind::kSemiSyncSplit;
+  TransportKind transport = TransportKind::kSim;
+  /// Seed for the sim scheduler and all protocol-internal randomness.
+  uint64_t seed = 1;
+  /// Sim transport only: when > 0, run the simulator in timestamped mode
+  /// with this base one-way remote latency (µs) plus `sim_jitter_us` of
+  /// uniform jitter; operations then have measurable latency in
+  /// simulated time (SimNetwork::NowUs).
+  uint64_t sim_latency_us = 0;
+  uint64_t sim_jitter_us = 0;
+  /// Per-destination relayed-update buffer for piggybacking (§1.1).
+  /// 0 disables piggybacking.
+  size_t piggyback_window = 0;
+  /// Node capacity, history tracking, replication factor, upserts.
+  TreeConfig tree;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_CORE_OPTIONS_H_

@@ -1,0 +1,100 @@
+#include "src/history/history.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lazytree::history {
+
+const char* UpdateClassName(UpdateClass c) {
+  switch (c) {
+    case UpdateClass::kInsert: return "insert";
+    case UpdateClass::kSplit: return "split";
+    case UpdateClass::kLinkChange: return "link_change";
+    case UpdateClass::kMembership: return "membership";
+    case UpdateClass::kMigrate: return "migrate";
+    case UpdateClass::kDelete: return "delete";
+  }
+  return "?";
+}
+
+std::string Record::ToString() const {
+  std::ostringstream os;
+  os << (initial ? "I:" : "r:") << UpdateClassName(cls) << " u=" << update
+     << " " << node.ToString() << "@p" << copy;
+  if (cls == UpdateClass::kInsert) os << " key=" << key;
+  if (cls == UpdateClass::kSplit) {
+    os << " sep=" << sep << " sib=" << new_node.ToString();
+  }
+  if (version) os << " v=" << version;
+  return os.str();
+}
+
+void HistoryLog::RegisterIssued(const IssuedUpdate& issued) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  LAZYTREE_CHECK(issued.update != kNoUpdate) << "issued update without id";
+  LAZYTREE_CHECK(issued_ids_.insert(issued.update).second)
+      << "update " << issued.update << " registered twice";
+  issued_.push_back(issued);
+}
+
+void HistoryLog::OnCopyCreated(NodeId node, ProcessorId copy,
+                               std::vector<UpdateId> inherited) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  CopyKey key{node, copy};
+  auto [it, fresh] = copies_.try_emplace(key);
+  if (!fresh) {
+    // A processor may re-join a node it unjoined earlier; the new
+    // incarnation replaces the dead one.
+    LAZYTREE_CHECK(!it->second.live)
+        << "copy " << node.ToString() << "@p" << copy << " created twice";
+    it->second = CopyHistory{};
+  }
+  it->second.inherited = std::move(inherited);
+}
+
+void HistoryLog::OnCopyDeleted(NodeId node, ProcessorId copy) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = copies_.find(CopyKey{node, copy});
+  LAZYTREE_CHECK(it != copies_.end())
+      << "delete of unknown copy " << node.ToString() << "@p" << copy;
+  it->second.live = false;
+}
+
+void HistoryLog::Append(Record record) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = copies_.find(CopyKey{record.node, record.copy});
+  LAZYTREE_CHECK(it != copies_.end() && it->second.live)
+      << "update at unknown/dead copy: " << record.ToString();
+  it->second.records.push_back(std::move(record));
+  ++record_count_;
+}
+
+std::map<CopyKey, CopyHistory> HistoryLog::Copies() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return copies_;
+}
+
+std::vector<IssuedUpdate> HistoryLog::Issued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return issued_;
+}
+
+size_t HistoryLog::RecordCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return record_count_;
+}
+
+void HistoryLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  copies_.clear();
+  issued_.clear();
+  issued_ids_.clear();
+  record_count_ = 0;
+}
+
+}  // namespace lazytree::history

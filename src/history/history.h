@@ -1,0 +1,85 @@
+// HistoryLog: global, thread-safe collector of per-copy histories.
+//
+// Protocol code reports copy lifecycle events and every applied update;
+// tests then run the §3 checkers (checker.h) over the collected log.
+// Collection can be disabled for benches (records are then dropped).
+
+#ifndef LAZYTREE_HISTORY_HISTORY_H_
+#define LAZYTREE_HISTORY_HISTORY_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/history/record.h"
+
+namespace lazytree::history {
+
+/// Identifies one physical copy: (logical node, hosting processor).
+struct CopyKey {
+  NodeId node;
+  ProcessorId copy;
+  friend auto operator<=>(const CopyKey&, const CopyKey&) = default;
+};
+
+/// Full history of one copy.
+struct CopyHistory {
+  /// Updates inherited through the seeding snapshot (backwards extension).
+  std::vector<UpdateId> inherited;
+  /// Updates applied at this copy, in application order.
+  std::vector<Record> records;
+  bool live = true;  ///< false once the copy was deleted (unjoin/migrate)
+};
+
+/// Registry entry for an issued logical update.
+struct IssuedUpdate {
+  UpdateId update = kNoUpdate;
+  UpdateClass cls = UpdateClass::kInsert;
+  NodeId node = kInvalidNode;  ///< node it was first addressed to
+  Key key = 0;
+  Value value = 0;
+};
+
+class HistoryLog {
+ public:
+  explicit HistoryLog(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Registers a brand-new logical update at issue time. Exactly once per
+  /// UpdateId; forwarding an insert to a sibling re-addresses but does not
+  /// re-register it.
+  void RegisterIssued(const IssuedUpdate& issued);
+
+  /// A copy came into existence with the given backwards extension.
+  void OnCopyCreated(NodeId node, ProcessorId copy,
+                     std::vector<UpdateId> inherited);
+
+  /// A copy was deleted (unjoin, migration away).
+  void OnCopyDeleted(NodeId node, ProcessorId copy);
+
+  /// An update action was applied at a copy.
+  void Append(Record record);
+
+  /// Snapshot accessors (copying, safe after quiescence).
+  std::map<CopyKey, CopyHistory> Copies() const;
+  std::vector<IssuedUpdate> Issued() const;
+
+  /// Total records appended (for tests).
+  size_t RecordCount() const;
+
+  void Reset();
+
+ private:
+  bool enabled_;
+  mutable std::mutex mu_;
+  std::map<CopyKey, CopyHistory> copies_;
+  std::vector<IssuedUpdate> issued_;
+  std::set<UpdateId> issued_ids_;
+  size_t record_count_ = 0;
+};
+
+}  // namespace lazytree::history
+
+#endif  // LAZYTREE_HISTORY_HISTORY_H_

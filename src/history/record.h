@@ -1,0 +1,56 @@
+// History records — the paper's §3 model of copy state.
+//
+// The value of a copy is modelled by its history: an initial value (the
+// "backwards extension" — the updates folded into the snapshot the copy was
+// seeded from) plus a totally-ordered list of update actions applied to it.
+// Every logical update carries a stable UpdateId across its initial and
+// relayed executions, which is what lets the checker compare *uniform*
+// histories (initial/relayed distinction erased) across copies.
+
+#ifndef LAZYTREE_HISTORY_RECORD_H_
+#define LAZYTREE_HISTORY_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/msg/action.h"
+
+namespace lazytree::history {
+
+/// Semantic class of an update, for commutativity / ordering analysis.
+enum class UpdateClass : uint8_t {
+  kInsert = 0,      ///< lazy update (commutes with other lazy updates)
+  kSplit = 1,       ///< semi-synchronous update
+  kDelete = 5,      ///< lazy update (free-at-empty deletes, [11])
+  kLinkChange = 2,  ///< ordered action (version-gated)
+  kMembership = 3,  ///< join / unjoin registration (ordered, version-gated)
+  kMigrate = 4,     ///< node moved host (ordered via version)
+};
+
+const char* UpdateClassName(UpdateClass c);
+
+/// One update action applied at one copy.
+struct Record {
+  UpdateId update = kNoUpdate;
+  UpdateClass cls = UpdateClass::kInsert;
+  NodeId node = kInvalidNode;
+  ProcessorId copy = kInvalidProcessor;  ///< processor hosting the copy
+  bool initial = false;  ///< initial (capital) vs relayed (lowercase)
+
+  Key key = 0;           ///< insert payload
+  Value value = 0;
+  NodeId new_node = kInvalidNode;  ///< split sibling / link target
+  Key sep = 0;                     ///< split separator
+  Version version = 0;             ///< version attached / produced
+  uint8_t link = 0;                ///< LinkKind for link-changes
+  /// True when the action was logically reordered into the past with no
+  /// effect (a stale link-change, §4.2): it counts for completeness but is
+  /// exempt from the ordered-history version check.
+  bool rewritten = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace lazytree::history
+
+#endif  // LAZYTREE_HISTORY_RECORD_H_

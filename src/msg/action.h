@@ -1,0 +1,163 @@
+// Actions: the unit of work in the paper's execution model (§3).
+//
+// An operation (search / insert) is executed as a chain of actions on node
+// copies. Executing an action at a copy yields a new copy value plus a set
+// of subsequent actions, each routed to the processor storing its target
+// copy. Initial actions are performed at one copy first; update actions are
+// then relayed to the remaining copies (lowercase in the paper).
+
+#ifndef LAZYTREE_MSG_ACTION_H_
+#define LAZYTREE_MSG_ACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/msg/key.h"
+
+namespace lazytree {
+
+/// One key → payload entry. At leaf level the payload is a Value; at
+/// interior levels it is the NodeId (as uint64) of the child whose range
+/// starts at `key`.
+struct Entry {
+  Key key = 0;
+  uint64_t payload = 0;
+  friend bool operator==(const Entry&, const Entry&) = default;
+  friend bool operator<(const Entry& a, const Entry& b) {
+    return a.key < b.key;
+  }
+};
+
+/// Serializable image of a node copy: used to seed new copies (sibling
+/// creation, join grants, migration) — the paper's "original value" of a
+/// copy, i.e. the backwards extension it starts from (§3.1).
+struct NodeSnapshot {
+  NodeId id = kInvalidNode;
+  int32_t level = 0;  ///< 0 = leaf
+  KeyRange range;
+  Version version = 0;
+  NodeId right = kInvalidNode;   ///< right sibling (B-link pointer)
+  Key right_low = kKeyInfinity;  ///< low key of the right sibling
+  NodeId left = kInvalidNode;    ///< left sibling (§4.2 needs both links)
+  NodeId parent = kInvalidNode;
+  /// Version of the last applied link-change per LinkKind (§4.2 gating).
+  Version link_versions[3] = {0, 0, 0};
+  std::vector<Entry> entries;
+  std::vector<ProcessorId> copies;  ///< processors replicating this node
+  ProcessorId pc = kInvalidProcessor;  ///< primary copy
+  /// Update ids already folded into this snapshot; a copy seeded from it
+  /// inherits them as its backwards extension for history checking.
+  std::vector<UpdateId> applied_updates;
+
+  bool valid() const { return id.valid(); }
+};
+
+/// Every kind of action exchanged by the protocols.
+enum class ActionKind : uint8_t {
+  kInvalid = 0,
+
+  // --- client operations (non-update navigation + completion) ---
+  kSearch,        ///< navigate toward `key`, reply with value or not-found
+  kInsertOp,      ///< navigate toward `key`, then perform an initial insert
+  kDeleteOp,      ///< navigate toward `key`, then perform an initial delete
+  kScanOp,        ///< range read: walk leaves rightward from `key`
+  kReturnValue,   ///< completion message back to the originating processor
+
+  // --- fixed-copies protocols (§4.1) ---
+  kInsert,        ///< initial insert I at a copy (leaf or interior)
+  kRelayedInsert, ///< relayed insert i to the other copies
+  kDelete,        ///< initial delete at a leaf copy (free-at-empty, [11])
+  kRelayedDelete, ///< relayed delete to the other copies (lazy update)
+  kSplitStart,    ///< AAS start (synchronous protocol only)
+  kSplitAck,      ///< copy acknowledges the AAS start to the PC
+  kSplitEnd,      ///< AAS end: carries the split outcome to apply
+  kRelayedSplit,  ///< relayed half-split s (semi-synchronous protocol)
+  kCreateNode,    ///< install a brand-new copy from a snapshot
+  kRootHint,      ///< lazily announce a new root (id + level)
+
+  // --- mobile / variable-copies protocols (§4.2, §4.3) ---
+  kLinkChange,    ///< ordered action: re-point a link, gated by version
+  kRelayedLinkChange,  ///< PC-relayed link-change (replicated neighbors)
+  kMigrateNode,   ///< install a migrated node at its new host
+  kMigrateAck,    ///< new host confirms installation to the old host
+  kJoin,          ///< processor asks the PC to join copies(n)
+  kJoinGrant,     ///< PC → requester: snapshot + membership
+  kRelayedJoin,   ///< PC → existing copies: membership/version update
+  kUnjoin,        ///< processor asks the PC to leave copies(n)
+  kRelayedUnjoin, ///< PC → remaining copies: membership/version update
+
+  // --- vigorous (available-copies) baseline ---
+  kVigorousLock,    ///< lock request to every copy
+  kVigorousLockAck, ///< copy granted the lock
+  kVigorousApply,   ///< apply an insert at every copy (also unlocks)
+  kVigorousApplyDelete, ///< apply a delete at every copy (also unlocks)
+  kVigorousApplySplit, ///< apply a split at every copy (also unlocks)
+  kVigorousApplyAck,///< copy applied the update
+  kVigorousUnlock,  ///< release
+
+  kMaxKind,
+};
+
+const char* ActionKindName(ActionKind kind);
+
+/// True for kinds that modify node state (the paper's update actions);
+/// non-update actions need not execute at every copy (§3.1).
+bool IsUpdateKind(ActionKind kind);
+
+/// Which link a kLinkChange re-points.
+enum class LinkKind : uint8_t { kRight = 0, kLeft = 1, kParent = 2 };
+
+/// One action plus its routing metadata. A single struct covers all kinds;
+/// unused fields stay at their defaults and encode compactly (wire.h).
+struct Action {
+  ActionKind kind = ActionKind::kInvalid;
+  NodeId target = kInvalidNode;  ///< logical node the action addresses
+  OpId op = kNoOp;               ///< originating client operation, if any
+  UpdateId update = kNoUpdate;   ///< stable id of the logical update
+
+  Key key = 0;
+  Value value = 0;
+  bool found = false;  ///< kReturnValue: search hit?
+
+  /// kReturnValue outcome discriminator.
+  enum class Rc : uint8_t { kNone = 0, kOk = 1, kNotFound = 2, kExists = 3 };
+  Rc rc = Rc::kNone;
+
+  Version version = 0;      ///< version attached to the action
+  ProcessorId origin = kInvalidProcessor;  ///< issuing processor
+  int32_t level = -1;       ///< destination level for routing (-1 = any)
+  uint32_t hops = 0;        ///< node visits so far (diagnostics, Fig. 2)
+
+  // Split / link-change payload.
+  NodeId new_node = kInvalidNode;  ///< new sibling / new link target
+  Key sep = 0;                     ///< separator key (new sibling's low)
+  LinkKind link = LinkKind::kRight;
+
+  // Membership payload (join / unjoin / create).
+  std::vector<ProcessorId> members;
+
+  // Node payload (create / join grant / migrate / split end).
+  NodeSnapshot snapshot;
+
+  // Scan accumulator (kScanOp gathers as it walks; kReturnValue carries
+  // the final batch home). `value` holds the scan limit.
+  std::vector<Entry> range_results;
+
+  std::string ToString() const;
+
+  /// Initial/relayed distinction (§3): relays never spawn client-visible
+  /// subsequent actions.
+  bool IsRelayed() const {
+    return kind == ActionKind::kRelayedInsert ||
+           kind == ActionKind::kRelayedDelete ||
+           kind == ActionKind::kRelayedSplit ||
+           kind == ActionKind::kRelayedLinkChange ||
+           kind == ActionKind::kRelayedJoin ||
+           kind == ActionKind::kRelayedUnjoin;
+  }
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_MSG_ACTION_H_

@@ -1,0 +1,18 @@
+#include "src/msg/message.h"
+
+#include <sstream>
+
+namespace lazytree {
+
+std::string Message::ToString() const {
+  std::ostringstream os;
+  os << "p" << from << "->p" << to << "#" << seq << "{";
+  for (size_t i = 0; i < actions.size(); ++i) {
+    if (i) os << ", ";
+    os << actions[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace lazytree

@@ -1,0 +1,35 @@
+// Message: an action in flight between two processors.
+
+#ifndef LAZYTREE_MSG_MESSAGE_H_
+#define LAZYTREE_MSG_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/msg/action.h"
+
+namespace lazytree {
+
+/// Envelope carrying one or more actions from one processor to another.
+///
+/// A message normally carries a single action; the piggybacking layer
+/// (net/piggyback.h) batches buffered relayed updates onto the next direct
+/// message for the same destination, which is why `actions` is a vector —
+/// exactly the optimization §1.1 describes.
+struct Message {
+  ProcessorId from = kInvalidProcessor;
+  ProcessorId to = kInvalidProcessor;
+  uint64_t seq = 0;  ///< per-(from,to) channel sequence, assigned by net
+  std::vector<Action> actions;
+
+  Message() = default;
+  Message(ProcessorId f, ProcessorId t, Action a)
+      : from(f), to(t), actions{std::move(a)} {}
+
+  std::string ToString() const;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_MSG_MESSAGE_H_

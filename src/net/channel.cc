@@ -1,0 +1,19 @@
+#include "src/net/channel.h"
+
+#include "src/util/logging.h"
+
+namespace lazytree::net {
+
+uint64_t Channel::Push(std::vector<uint8_t> encoded) {
+  queue_.push_back(std::move(encoded));
+  return next_seq_++;
+}
+
+std::vector<uint8_t> Channel::Pop() {
+  LAZYTREE_CHECK(!queue_.empty()) << "Pop on empty channel";
+  std::vector<uint8_t> head = std::move(queue_.front());
+  queue_.pop_front();
+  return head;
+}
+
+}  // namespace lazytree::net

@@ -1,0 +1,34 @@
+// Channel: one ordered (from, to) message lane inside SimNetwork.
+
+#ifndef LAZYTREE_NET_CHANNEL_H_
+#define LAZYTREE_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/msg/message.h"
+
+namespace lazytree::net {
+
+/// FIFO queue of encoded messages with per-channel sequence numbers.
+/// Single-threaded (SimNetwork only).
+class Channel {
+ public:
+  /// Appends a message; assigns and returns its channel sequence number.
+  uint64_t Push(std::vector<uint8_t> encoded);
+
+  /// Pops the head. Precondition: !Empty().
+  std::vector<uint8_t> Pop();
+
+  bool Empty() const { return queue_.empty(); }
+  size_t Size() const { return queue_.size(); }
+
+ private:
+  std::deque<std::vector<uint8_t>> queue_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace lazytree::net
+
+#endif  // LAZYTREE_NET_CHANNEL_H_

@@ -1,0 +1,103 @@
+#include "src/net/piggyback.h"
+
+#include "src/util/logging.h"
+
+namespace lazytree::net {
+
+PiggybackNetwork::PiggybackNetwork(Network* base, size_t max_buffered)
+    : base_(base), max_buffered_(max_buffered) {}
+
+void PiggybackNetwork::Register(ProcessorId id, Receiver* receiver) {
+  base_->Register(id, receiver);
+}
+
+ProcessorId PiggybackNetwork::size() const { return base_->size(); }
+
+bool PiggybackNetwork::Deferrable(const Message& m) {
+  if (m.actions.empty()) return false;
+  for (const Action& a : m.actions) {
+    if (!a.IsRelayed()) return false;
+  }
+  return true;
+}
+
+void PiggybackNetwork::Send(Message m) {
+  if (max_buffered_ == 0 || m.from == m.to) {
+    base_->Send(std::move(m));
+    return;
+  }
+  const uint64_t key = ChannelKey(m.from, m.to);
+  bool flush_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& buf = buffers_[key];
+    if (Deferrable(m)) {
+      stats_.OnPiggyback(m.actions.size());
+      for (Action& a : m.actions) buf.push_back(std::move(a));
+      buffered_total_ += m.actions.size();
+      if (buf.size() >= max_buffered_) {
+        // Cap reached: turn the buffer into a standalone message.
+        m.actions = std::move(buf);
+        buffers_.erase(key);
+        buffered_total_ -= m.actions.size();
+        flush_now = true;
+      }
+    } else if (!buf.empty()) {
+      // Direct message departs: buffered relays ride along, in order,
+      // ahead of the direct action (they were issued first).
+      buffered_total_ -= buf.size();
+      buf.insert(buf.end(), std::make_move_iterator(m.actions.begin()),
+                 std::make_move_iterator(m.actions.end()));
+      m.actions = std::move(buf);
+      buffers_.erase(key);
+      flush_now = true;
+    } else {
+      flush_now = true;
+    }
+  }
+  if (flush_now) base_->Send(std::move(m));
+}
+
+void PiggybackNetwork::FlushAll() {
+  std::unordered_map<uint64_t, std::vector<Action>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(buffers_);
+    buffered_total_ = 0;
+  }
+  for (auto& [key, actions] : drained) {
+    if (actions.empty()) continue;
+    Message m;
+    m.from = static_cast<ProcessorId>(key >> 32);
+    m.to = static_cast<ProcessorId>(key);
+    m.actions = std::move(actions);
+    base_->Send(std::move(m));
+  }
+}
+
+void PiggybackNetwork::Start() { base_->Start(); }
+
+void PiggybackNetwork::Stop() {
+  FlushAll();
+  base_->Stop();
+}
+
+bool PiggybackNetwork::WaitQuiescent(std::chrono::milliseconds timeout) {
+  // Buffered relays count as outstanding work: flush, settle, and repeat
+  // until both the buffers and the base network are empty (a delivery can
+  // enqueue new deferrable relays).
+  for (int round = 0; round < 1000; ++round) {
+    FlushAll();
+    if (!base_->WaitQuiescent(timeout)) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffered_total_ == 0) return true;
+  }
+  return false;
+}
+
+size_t PiggybackNetwork::Buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffered_total_;
+}
+
+}  // namespace lazytree::net

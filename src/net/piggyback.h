@@ -1,0 +1,62 @@
+// Piggybacking decorator (§1.1): "the lazy update can be piggybacked onto
+// messages used for other purposes, greatly reducing the cost of
+// replication management."
+//
+// PiggybackNetwork wraps any Network. Messages whose actions are all
+// relayed updates (which commute — that is what makes them safe to delay)
+// are buffered per destination instead of being sent. The buffered actions
+// are prepended onto the *next* message of any kind bound for the same
+// destination, so per-destination FIFO order is exactly preserved; the
+// only effect is batching. A buffer cap bounds staleness, and FlushAll /
+// WaitQuiescent force everything out.
+
+#ifndef LAZYTREE_NET_PIGGYBACK_H_
+#define LAZYTREE_NET_PIGGYBACK_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace lazytree::net {
+
+class PiggybackNetwork : public Network {
+ public:
+  /// `max_buffered` — per-destination action cap; reaching it flushes.
+  /// 0 disables buffering entirely (pass-through).
+  PiggybackNetwork(Network* base, size_t max_buffered);
+
+  void Register(ProcessorId id, Receiver* receiver) override;
+  ProcessorId size() const override;
+  void Send(Message m) override;
+  void Start() override;
+  void Stop() override;
+  bool WaitQuiescent(std::chrono::milliseconds timeout) override;
+
+  /// Sends every buffered action immediately (as standalone messages).
+  void FlushAll();
+
+  /// Buffered action count (for tests).
+  size_t Buffered() const;
+
+  NetworkStats& base_stats() { return base_->stats(); }
+
+ private:
+  static bool Deferrable(const Message& m);
+  // Key: (from << 32) | to — buffers are per ordered channel so that
+  // flushing preserves each sender's FIFO order toward the destination.
+  static uint64_t ChannelKey(ProcessorId from, ProcessorId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  Network* base_;
+  size_t max_buffered_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::vector<Action>> buffers_;
+  size_t buffered_total_ = 0;
+};
+
+}  // namespace lazytree::net
+
+#endif  // LAZYTREE_NET_PIGGYBACK_H_

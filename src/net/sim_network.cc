@@ -1,0 +1,112 @@
+#include "src/net/sim_network.h"
+
+#include "src/msg/wire.h"
+#include "src/util/logging.h"
+
+namespace lazytree::net {
+
+SimNetwork::SimNetwork(uint64_t seed) : rng_(seed) {}
+
+void SimNetwork::Register(ProcessorId id, Receiver* receiver) {
+  if (receivers_.size() <= id) receivers_.resize(id + 1, nullptr);
+  LAZYTREE_CHECK(receivers_[id] == nullptr) << "double register p" << id;
+  receivers_[id] = receiver;
+}
+
+ProcessorId SimNetwork::size() const {
+  return static_cast<ProcessorId>(receivers_.size());
+}
+
+void SimNetwork::EnableLatency(uint64_t base_us, uint64_t jitter_us,
+                               uint64_t local_us) {
+  LAZYTREE_CHECK(pending_ == 0) << "EnableLatency before any Send";
+  latency_mode_ = true;
+  base_us_ = base_us;
+  jitter_us_ = jitter_us;
+  local_us_ = local_us;
+}
+
+void SimNetwork::Send(Message m) {
+  LAZYTREE_CHECK(m.to < receivers_.size() && receivers_[m.to] != nullptr)
+      << "send to unregistered p" << m.to;
+  std::vector<uint8_t> encoded = wire::EncodeMessage(m);
+  stats_.OnSend(m, encoded.size());
+  if (latency_mode_) {
+    uint64_t latency =
+        m.from == m.to
+            ? local_us_
+            : base_us_ + (jitter_us_ ? rng_.Below(jitter_us_ + 1) : 0);
+    uint64_t& last = last_arrival_[{m.from, m.to}];
+    uint64_t arrival = std::max(now_us_ + latency, last);  // FIFO clamp
+    last = arrival;
+    timeline_.push(TimedEvent{arrival, event_seq_++, m.to,
+                              std::move(encoded)});
+    ++pending_;
+    return;
+  }
+  Channel& ch = channels_[{m.from, m.to}];
+  ch.Push(std::move(encoded));
+  ++pending_;
+}
+
+bool SimNetwork::Step() {
+  if (pending_ == 0) return false;
+  LAZYTREE_CHECK(!in_step_) << "reentrant Step";
+  if (latency_mode_) {
+    TimedEvent event = timeline_.top();
+    timeline_.pop();
+    --pending_;
+    now_us_ = std::max(now_us_, event.arrival_us);
+    if (drop_prob_ > 0 && rng_.Chance(drop_prob_)) {
+      ++dropped_;
+      return true;
+    }
+    auto decoded = wire::DecodeMessage(event.encoded);
+    LAZYTREE_CHECK(decoded.ok())
+        << "wire corruption: " << decoded.status().ToString();
+    ++delivered_;
+    in_step_ = true;
+    receivers_[event.to]->Deliver(std::move(*decoded));
+    in_step_ = false;
+    return true;
+  }
+  nonempty_.clear();
+  for (auto& [key, ch] : channels_) {
+    if (!ch.Empty()) nonempty_.push_back(key);
+  }
+  LAZYTREE_CHECK(!nonempty_.empty()) << "pending_ out of sync";
+  const auto& pick = nonempty_[rng_.Below(nonempty_.size())];
+  std::vector<uint8_t> encoded = channels_[pick].Pop();
+  --pending_;
+  if (drop_prob_ > 0 && rng_.Chance(drop_prob_)) {
+    ++dropped_;  // injected fault: the message vanishes
+    return true;
+  }
+  auto decoded = wire::DecodeMessage(encoded);
+  LAZYTREE_CHECK(decoded.ok()) << "wire corruption: "
+                               << decoded.status().ToString();
+  const bool dup = dup_prob_ > 0 && rng_.Chance(dup_prob_);
+  ++delivered_;
+  in_step_ = true;
+  receivers_[pick.second]->Deliver(*decoded);
+  if (dup) {
+    ++duplicated_;  // injected fault: delivered twice
+    ++delivered_;
+    receivers_[pick.second]->Deliver(std::move(*decoded));
+  }
+  in_step_ = false;
+  return true;
+}
+
+bool SimNetwork::WaitQuiescent(std::chrono::milliseconds timeout) {
+  // Interpret the timeout as a delivery budget: 10k deliveries per ms is
+  // far beyond anything a correct run needs, so hitting it means livelock.
+  uint64_t budget = static_cast<uint64_t>(timeout.count()) * 10000;
+  while (pending_ > 0) {
+    if (budget-- == 0) return false;
+    Step();
+  }
+  return true;
+}
+
+}  // namespace lazytree::net

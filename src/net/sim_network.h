@@ -1,0 +1,113 @@
+// SimNetwork: deterministic, seed-replayable message scheduler.
+//
+// There are no threads: WaitQuiescent repeatedly picks a random non-empty
+// (from, to) channel using the seeded Rng, pops its head message, and calls
+// the receiver synchronously. Per-channel FIFO is preserved (the paper's
+// assumption); *cross*-channel order is adversarially random, which models
+// arbitrary relative network latency. The same seed always yields the same
+// interleaving, so failing schedules replay exactly.
+
+#ifndef LAZYTREE_NET_SIM_NETWORK_H_
+#define LAZYTREE_NET_SIM_NETWORK_H_
+
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/net/channel.h"
+#include "src/net/transport.h"
+#include "src/util/rng.h"
+
+namespace lazytree::net {
+
+class SimNetwork : public Network {
+ public:
+  explicit SimNetwork(uint64_t seed = 1);
+
+  /// Switches to timestamped mode: every message is assigned an arrival
+  /// time of now + latency, where latency is `base_us` plus a uniform
+  /// jitter in [0, jitter_us] (remote) or `local_us` (self-sends), and
+  /// Step always delivers the earliest arrival. Per-channel FIFO is
+  /// preserved (arrivals are clamped to be non-decreasing per channel).
+  /// Gives operations a measurable latency in simulated microseconds.
+  /// Call before any Send.
+  void EnableLatency(uint64_t base_us, uint64_t jitter_us,
+                     uint64_t local_us = 1);
+
+  /// Simulated clock (µs); only advances in latency mode.
+  uint64_t NowUs() const { return now_us_; }
+
+  void Register(ProcessorId id, Receiver* receiver) override;
+  ProcessorId size() const override;
+  void Send(Message m) override;
+  void Start() override {}
+  void Stop() override {}
+
+  /// Runs deliveries until no message remains. The timeout bounds the
+  /// number of deliveries (defensive against livelock bugs), not wall time.
+  bool WaitQuiescent(std::chrono::milliseconds timeout) override;
+
+  /// Delivers exactly one message (random non-empty channel).
+  /// Returns false when nothing is pending.
+  bool Step();
+
+  /// Fault injection — deliberately violates the §4 network assumption
+  /// (reliable, exactly-once) so tests can demonstrate that the lazy
+  /// protocols depend on it. Each delivered message is dropped with
+  /// `drop` probability or delivered twice with `duplicate` probability.
+  void InjectFaults(double drop, double duplicate) {
+    drop_prob_ = drop;
+    dup_prob_ = duplicate;
+  }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t duplicated() const { return duplicated_; }
+
+  /// Messages currently queued across all channels.
+  size_t Pending() const { return pending_; }
+
+  /// Total deliveries performed so far.
+  uint64_t delivered() const { return delivered_; }
+
+ private:
+  Rng rng_;
+  std::vector<Receiver*> receivers_;
+  // Channel per ordered (from, to) pair, created lazily. A sorted map keeps
+  // iteration order deterministic.
+  std::map<std::pair<ProcessorId, ProcessorId>, Channel> channels_;
+  std::vector<std::pair<ProcessorId, ProcessorId>> nonempty_;  // scratch
+  size_t pending_ = 0;
+  uint64_t delivered_ = 0;
+  bool in_step_ = false;
+  double drop_prob_ = 0;
+  double dup_prob_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+
+  // Timestamped (latency) mode.
+  struct TimedEvent {
+    uint64_t arrival_us;
+    uint64_t seq;  // tie-breaker keeps the order deterministic
+    ProcessorId to;
+    std::vector<uint8_t> encoded;
+    bool operator>(const TimedEvent& other) const {
+      return arrival_us != other.arrival_us
+                 ? arrival_us > other.arrival_us
+                 : seq > other.seq;
+    }
+  };
+  bool latency_mode_ = false;
+  uint64_t base_us_ = 0;
+  uint64_t jitter_us_ = 0;
+  uint64_t local_us_ = 0;
+  uint64_t now_us_ = 0;
+  uint64_t event_seq_ = 0;
+  std::map<std::pair<ProcessorId, ProcessorId>, uint64_t> last_arrival_;
+  std::priority_queue<TimedEvent, std::vector<TimedEvent>,
+                      std::greater<TimedEvent>>
+      timeline_;
+};
+
+}  // namespace lazytree::net
+
+#endif  // LAZYTREE_NET_SIM_NETWORK_H_

@@ -1,0 +1,71 @@
+#include "src/net/stats.h"
+
+#include <sstream>
+
+namespace lazytree::net {
+
+StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& rhs) const {
+  StatsSnapshot d;
+  d.remote_messages = remote_messages - rhs.remote_messages;
+  d.local_messages = local_messages - rhs.local_messages;
+  d.remote_bytes = remote_bytes - rhs.remote_bytes;
+  d.piggybacked_actions = piggybacked_actions - rhs.piggybacked_actions;
+  for (size_t i = 0; i < actions_by_kind.size(); ++i) {
+    d.actions_by_kind[i] = actions_by_kind[i] - rhs.actions_by_kind[i];
+  }
+  return d;
+}
+
+std::string StatsSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "remote_msgs=" << remote_messages << " local_msgs=" << local_messages
+     << " remote_bytes=" << remote_bytes
+     << " piggybacked=" << piggybacked_actions;
+  for (size_t i = 1; i < actions_by_kind.size(); ++i) {
+    if (actions_by_kind[i] == 0) continue;
+    os << " " << ActionKindName(static_cast<ActionKind>(i)) << "="
+       << actions_by_kind[i];
+  }
+  return os.str();
+}
+
+void NetworkStats::OnSend(const Message& m, size_t encoded_bytes) {
+  if (m.from == m.to) {
+    local_messages_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    remote_messages_.fetch_add(1, std::memory_order_relaxed);
+    remote_bytes_.fetch_add(encoded_bytes, std::memory_order_relaxed);
+  }
+  for (const Action& a : m.actions) {
+    actions_by_kind_[static_cast<size_t>(a.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+void NetworkStats::OnPiggyback(size_t action_count) {
+  piggybacked_actions_.fetch_add(action_count, std::memory_order_relaxed);
+}
+
+StatsSnapshot NetworkStats::Snapshot() const {
+  StatsSnapshot s;
+  s.remote_messages = remote_messages_.load(std::memory_order_relaxed);
+  s.local_messages = local_messages_.load(std::memory_order_relaxed);
+  s.remote_bytes = remote_bytes_.load(std::memory_order_relaxed);
+  s.piggybacked_actions =
+      piggybacked_actions_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < s.actions_by_kind.size(); ++i) {
+    s.actions_by_kind[i] =
+        actions_by_kind_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void NetworkStats::Reset() {
+  remote_messages_ = 0;
+  local_messages_ = 0;
+  remote_bytes_ = 0;
+  piggybacked_actions_ = 0;
+  for (auto& c : actions_by_kind_) c = 0;
+}
+
+}  // namespace lazytree::net

@@ -1,0 +1,52 @@
+// Network accounting: every bench in this repo ultimately reports numbers
+// that come from here (messages, bytes, per-action-kind counts).
+
+#ifndef LAZYTREE_NET_STATS_H_
+#define LAZYTREE_NET_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/msg/message.h"
+
+namespace lazytree::net {
+
+/// Point-in-time copy of the counters (cheap to subtract for intervals).
+struct StatsSnapshot {
+  uint64_t remote_messages = 0;  ///< messages that crossed processors
+  uint64_t local_messages = 0;   ///< self-sends (not network traffic)
+  uint64_t remote_bytes = 0;
+  uint64_t piggybacked_actions = 0;  ///< actions that rode along for free
+  std::array<uint64_t, static_cast<size_t>(ActionKind::kMaxKind)>
+      actions_by_kind{};
+
+  StatsSnapshot operator-(const StatsSnapshot& rhs) const;
+  uint64_t ActionCount(ActionKind kind) const {
+    return actions_by_kind[static_cast<size_t>(kind)];
+  }
+  std::string ToString() const;
+};
+
+/// Thread-safe counters owned by a Network.
+class NetworkStats {
+ public:
+  void OnSend(const Message& m, size_t encoded_bytes);
+  void OnPiggyback(size_t action_count);
+  StatsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> remote_messages_{0};
+  std::atomic<uint64_t> local_messages_{0};
+  std::atomic<uint64_t> remote_bytes_{0};
+  std::atomic<uint64_t> piggybacked_actions_{0};
+  std::array<std::atomic<uint64_t>,
+             static_cast<size_t>(ActionKind::kMaxKind)>
+      actions_by_kind_{};
+};
+
+}  // namespace lazytree::net
+
+#endif  // LAZYTREE_NET_STATS_H_

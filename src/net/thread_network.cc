@@ -1,0 +1,82 @@
+#include "src/net/thread_network.h"
+
+#include "src/msg/wire.h"
+#include "src/util/logging.h"
+
+namespace lazytree::net {
+
+ThreadNetwork::~ThreadNetwork() { Stop(); }
+
+void ThreadNetwork::Register(ProcessorId id, Receiver* receiver) {
+  LAZYTREE_CHECK(!started_.load()) << "register after Start";
+  if (stations_.size() <= id) stations_.resize(id + 1);
+  LAZYTREE_CHECK(stations_[id] == nullptr) << "double register p" << id;
+  stations_[id] = std::make_unique<Station>();
+  stations_[id]->receiver = receiver;
+}
+
+ProcessorId ThreadNetwork::size() const {
+  return static_cast<ProcessorId>(stations_.size());
+}
+
+void ThreadNetwork::Send(Message m) {
+  LAZYTREE_CHECK(m.to < stations_.size() && stations_[m.to] != nullptr)
+      << "send to unregistered p" << m.to;
+  std::vector<uint8_t> encoded = wire::EncodeMessage(m);
+  stats_.OnSend(m, encoded.size());
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  if (!stations_[m.to]->inbox.Push(std::move(encoded))) {
+    // Inbox closed during shutdown: account the message as handled.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    --inflight_;
+    inflight_cv_.notify_all();
+  }
+}
+
+void ThreadNetwork::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  for (auto& station : stations_) {
+    LAZYTREE_CHECK(station != nullptr) << "processor ids must be dense";
+    station->worker = std::thread(&ThreadNetwork::WorkerLoop, this,
+                                  station.get());
+  }
+}
+
+void ThreadNetwork::WorkerLoop(Station* station) {
+  while (true) {
+    std::optional<std::vector<uint8_t>> encoded = station->inbox.Pop();
+    if (!encoded.has_value()) return;  // closed and drained
+    auto decoded = wire::DecodeMessage(*encoded);
+    LAZYTREE_CHECK(decoded.ok())
+        << "wire corruption: " << decoded.status().ToString();
+    station->receiver->Deliver(std::move(*decoded));
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_;
+      if (inflight_ == 0) inflight_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadNetwork::Stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  for (auto& station : stations_) {
+    if (station) station->inbox.Close();
+  }
+  for (auto& station : stations_) {
+    if (station && station->worker.joinable()) station->worker.join();
+  }
+}
+
+bool ThreadNetwork::WaitQuiescent(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  return inflight_cv_.wait_for(lock, timeout,
+                               [&] { return inflight_ == 0; });
+}
+
+}  // namespace lazytree::net

@@ -1,0 +1,57 @@
+// ThreadNetwork: one worker thread per simulated processor.
+//
+// Each processor owns an inbox; its worker pops messages and calls
+// Receiver::Deliver serially, which gives the paper's one-node-manager-
+// per-processor execution model with genuine hardware parallelism across
+// processors. FIFO per (from, to) pair holds because a sender enqueues in
+// program order and the inbox is a single FIFO queue.
+
+#ifndef LAZYTREE_NET_THREAD_NETWORK_H_
+#define LAZYTREE_NET_THREAD_NETWORK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/util/threading.h"
+
+namespace lazytree::net {
+
+class ThreadNetwork : public Network {
+ public:
+  ThreadNetwork() = default;
+  ~ThreadNetwork() override;
+
+  void Register(ProcessorId id, Receiver* receiver) override;
+  ProcessorId size() const override;
+  void Send(Message m) override;
+  void Start() override;
+  void Stop() override;
+  bool WaitQuiescent(std::chrono::milliseconds timeout) override;
+
+ private:
+  struct Station {
+    Receiver* receiver = nullptr;
+    BlockingQueue<std::vector<uint8_t>> inbox;
+    std::thread worker;
+  };
+
+  void WorkerLoop(Station* station);
+
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  // Quiescence: count of messages enqueued but not yet fully handled.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  int64_t inflight_ = 0;
+};
+
+}  // namespace lazytree::net
+
+#endif  // LAZYTREE_NET_THREAD_NETWORK_H_

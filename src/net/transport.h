@@ -1,0 +1,71 @@
+// Network abstraction the protocols are written against.
+//
+// The paper's network assumption (§4): reliable, exactly-once, in-order
+// delivery between any pair of processors. Two implementations honor it:
+//
+//   * ThreadNetwork — one worker thread per processor; real parallelism
+//     for throughput benches.
+//   * SimNetwork — deterministic discrete-event scheduler; a seed fully
+//     determines the interleaving, so property tests can replay
+//     adversarial schedules.
+//
+// Delivery model: each processor registers a Receiver; the network invokes
+// Receiver::Deliver for one message at a time per processor (this provides
+// the paper's "an action on a node is implicitly atomic" guarantee —
+// §1.1). Deliver may call Send reentrantly.
+
+#ifndef LAZYTREE_NET_TRANSPORT_H_
+#define LAZYTREE_NET_TRANSPORT_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/msg/message.h"
+#include "src/net/stats.h"
+
+namespace lazytree::net {
+
+/// Message sink implemented by each processor.
+class Receiver {
+ public:
+  virtual ~Receiver() = default;
+
+  /// Handles one message. Called serially per processor. May Send.
+  virtual void Deliver(Message m) = 0;
+};
+
+/// Reliable exactly-once FIFO transport between registered processors.
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Registers the receiver for `id`. Must be called for every processor
+  /// before Start; ids must be dense [0, n).
+  virtual void Register(ProcessorId id, Receiver* receiver) = 0;
+
+  /// Number of registered processors.
+  virtual ProcessorId size() const = 0;
+
+  /// Enqueues a message. `m.from`/`m.to` must be registered. Never blocks.
+  virtual void Send(Message m) = 0;
+
+  /// Starts delivery (ThreadNetwork spawns workers; SimNetwork is a no-op).
+  virtual void Start() = 0;
+
+  /// Stops delivery and drains nothing further. Idempotent.
+  virtual void Stop() = 0;
+
+  /// Blocks/loops until no message is queued or being handled, or the
+  /// timeout elapses. Returns true on quiescence. For SimNetwork this *is*
+  /// the execution loop.
+  virtual bool WaitQuiescent(std::chrono::milliseconds timeout) = 0;
+
+  NetworkStats& stats() { return stats_; }
+
+ protected:
+  NetworkStats stats_;
+};
+
+}  // namespace lazytree::net
+
+#endif  // LAZYTREE_NET_TRANSPORT_H_

@@ -1,0 +1,171 @@
+#include "src/node/node.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace lazytree {
+
+Node::Node(const NodeSnapshot& snapshot, bool track_updates)
+    : id_(snapshot.id),
+      level_(snapshot.level),
+      range_(snapshot.range),
+      version_(snapshot.version),
+      right_(snapshot.right),
+      right_low_(snapshot.right_low),
+      left_(snapshot.left),
+      parent_(snapshot.parent),
+      entries_(snapshot.entries),
+      copies_(snapshot.copies),
+      pc_(snapshot.pc),
+      track_updates_(track_updates),
+      applied_updates_(snapshot.applied_updates),
+      applied_lookup_(snapshot.applied_updates.begin(),
+                      snapshot.applied_updates.end()) {
+  for (int i = 0; i < 3; ++i) link_versions_[i] = snapshot.link_versions[i];
+  LAZYTREE_CHECK(id_.valid()) << "node from invalid snapshot";
+}
+
+Node::Node(NodeId id, int32_t level, KeyRange range, bool track_updates)
+    : id_(id), level_(level), range_(range), track_updates_(track_updates) {
+  LAZYTREE_CHECK(id_.valid()) << "fresh node with invalid id";
+}
+
+void Node::AddCopy(ProcessorId p) {
+  if (!HasCopy(p)) copies_.push_back(p);
+}
+
+void Node::RemoveCopy(ProcessorId p) {
+  copies_.erase(std::remove(copies_.begin(), copies_.end(), p),
+                copies_.end());
+}
+
+bool Node::HasCopy(ProcessorId p) const {
+  return std::find(copies_.begin(), copies_.end(), p) != copies_.end();
+}
+
+namespace {
+
+/// First entry with key >= `key`.
+std::vector<Entry>::const_iterator LowerBound(
+    const std::vector<Entry>& entries, Key key) {
+  return std::lower_bound(entries.begin(), entries.end(), key,
+                          [](const Entry& e, Key k) { return e.key < k; });
+}
+
+}  // namespace
+
+std::optional<Value> Node::Find(Key key) const {
+  LAZYTREE_CHECK(is_leaf()) << "Find on interior node";
+  auto it = LowerBound(entries_, key);
+  if (it != entries_.end() && it->key == key) return it->payload;
+  return std::nullopt;
+}
+
+NodeId Node::ChildFor(Key key) const {
+  LAZYTREE_CHECK(!is_leaf()) << "ChildFor on leaf";
+  LAZYTREE_CHECK(!entries_.empty()) << "interior node with no children";
+  // Greatest separator <= key routes the descent.
+  auto it = LowerBound(entries_, key);
+  if (it == entries_.end() || it->key > key) {
+    LAZYTREE_CHECK(it != entries_.begin())
+        << "key " << key << " below first separator of " << ToString();
+    --it;
+  }
+  return NodeId{it->payload};
+}
+
+bool Node::Insert(Key key, uint64_t payload, bool upsert) {
+  auto it = LowerBound(entries_, key);
+  if (it != entries_.end() && it->key == key) {
+    if (upsert) entries_[it - entries_.begin()].payload = payload;
+    return false;
+  }
+  entries_.insert(entries_.begin() + (it - entries_.begin()),
+                  Entry{key, payload});
+  return true;
+}
+
+bool Node::Remove(Key key) {
+  auto it = LowerBound(entries_, key);
+  if (it == entries_.end() || it->key != key) return false;
+  entries_.erase(entries_.begin() + (it - entries_.begin()));
+  return true;
+}
+
+Node::SplitResult Node::HalfSplit(NodeId sibling_id) {
+  LAZYTREE_CHECK(entries_.size() >= 2) << "half-split of tiny node";
+  const size_t keep = entries_.size() / 2;
+
+  SplitResult result;
+  result.sep = entries_[keep].key;
+
+  NodeSnapshot& sibling = result.sibling;
+  sibling.id = sibling_id;
+  sibling.level = level_;
+  sibling.range = KeyRange{result.sep, range_.high};
+  sibling.version = version_ + 1;  // §4.2: sibling version = ours + 1
+  sibling.right = right_;
+  sibling.right_low = right_low_;
+  sibling.left = id_;
+  sibling.parent = parent_;
+  sibling.entries.assign(entries_.begin() + keep, entries_.end());
+  if (track_updates_) {
+    // The sibling inherits the full backwards extension: its seed value
+    // derives from this copy's entire history (§3.1).
+    sibling.applied_updates = applied_updates_;
+  }
+
+  entries_.resize(keep);
+  range_.high = result.sep;
+  right_ = sibling_id;
+  right_low_ = result.sep;
+  return result;
+}
+
+void Node::ApplySplit(Key sep, NodeId sibling_id) {
+  LAZYTREE_CHECK(range_.Contains(sep) || sep == range_.high)
+      << "split sep " << sep << " outside " << ToString();
+  auto it = LowerBound(entries_, sep);
+  entries_.erase(it, entries_.end());
+  range_.high = sep;
+  right_ = sibling_id;
+  right_low_ = sep;
+}
+
+NodeSnapshot Node::ToSnapshot() const {
+  NodeSnapshot s;
+  s.id = id_;
+  s.level = level_;
+  s.range = range_;
+  s.version = version_;
+  s.right = right_;
+  s.right_low = right_low_;
+  s.left = left_;
+  s.parent = parent_;
+  for (int i = 0; i < 3; ++i) s.link_versions[i] = link_versions_[i];
+  s.entries = entries_;
+  s.copies = copies_;
+  s.pc = pc_;
+  s.applied_updates = applied_updates_;
+  return s;
+}
+
+void Node::NoteApplied(UpdateId update) {
+  if (track_updates_ && update != kNoUpdate) {
+    applied_updates_.push_back(update);
+    applied_lookup_.insert(update);
+  }
+}
+
+std::string Node::ToString() const {
+  std::ostringstream os;
+  os << id_.ToString() << "{L" << level_ << " " << range_.ToString()
+     << " n=" << entries_.size() << " ->" << right_.ToString();
+  if (version_) os << " v" << version_;
+  os << "}";
+  return os.str();
+}
+
+}  // namespace lazytree

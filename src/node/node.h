@@ -1,0 +1,156 @@
+// Node: one copy of a B-link tree node (§1.1).
+//
+// A node covers the half-open key range [range.low, range.high). Interior
+// entries map a separator key to the child NodeId whose subtree starts at
+// that key; leaf entries map keys to values. Every node carries a pointer
+// to its right sibling (the B-link pointer) plus, for the mobile and
+// variable-copies protocols (§4.2/§4.3), a left-sibling pointer and a
+// version number.
+//
+// Node is pure mechanism: it applies inserts and computes half-splits but
+// knows nothing about replication or messaging. Protocols decide *when*
+// to call what.
+
+#ifndef LAZYTREE_NODE_NODE_H_
+#define LAZYTREE_NODE_NODE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/msg/action.h"
+#include "src/util/statusor.h"
+
+namespace lazytree {
+
+class Node {
+ public:
+  /// Creates a copy from a snapshot (sibling creation, join, migration).
+  explicit Node(const NodeSnapshot& snapshot, bool track_updates);
+
+  /// Creates a fresh empty node.
+  Node(NodeId id, int32_t level, KeyRange range, bool track_updates);
+
+  NodeId id() const { return id_; }
+  int32_t level() const { return level_; }
+  bool is_leaf() const { return level_ == 0; }
+  const KeyRange& range() const { return range_; }
+  Version version() const { return version_; }
+  void set_version(Version v) { version_ = v; }
+  void bump_version() { ++version_; }
+
+  NodeId right() const { return right_; }
+  Key right_low() const { return right_low_; }
+  NodeId left() const { return left_; }
+  NodeId parent() const { return parent_; }
+  void set_right(NodeId n, Key low) { right_ = n; right_low_ = low; }
+  void set_left(NodeId n) { left_ = n; }
+  void set_parent(NodeId n) { parent_ = n; }
+
+  /// Version of the last applied link-change for `link` (§4.2 gating).
+  Version link_version(LinkKind link) const {
+    return link_versions_[static_cast<int>(link)];
+  }
+  void set_link_version(LinkKind link, Version v) {
+    link_versions_[static_cast<int>(link)] = v;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  const std::vector<ProcessorId>& copies() const { return copies_; }
+  ProcessorId pc() const { return pc_; }
+  void set_copies(std::vector<ProcessorId> copies, ProcessorId pc) {
+    copies_ = std::move(copies);
+    pc_ = pc;
+  }
+  void AddCopy(ProcessorId p);
+  void RemoveCopy(ProcessorId p);
+  bool HasCopy(ProcessorId p) const;
+
+  bool Contains(Key key) const { return range_.Contains(key); }
+
+  /// Leaf lookup. Precondition: is_leaf() && Contains(key).
+  std::optional<Value> Find(Key key) const;
+
+  /// Interior routing. Precondition: !is_leaf() && Contains(key).
+  /// Returns the child covering `key`.
+  NodeId ChildFor(Key key) const;
+
+  /// Inserts (or upserts) an entry. Precondition: Contains(key).
+  /// Returns false when the key already existed (entry left unchanged
+  /// unless `upsert`).
+  bool Insert(Key key, uint64_t payload, bool upsert = false);
+
+  /// Removes an entry; false when absent. Nodes are never merged
+  /// (free-at-empty, [11]), so an empty node simply stays.
+  bool Remove(Key key);
+
+  /// True when the node holds more than `max_entries` entries and should
+  /// half-split. Copies are maintained serially, so temporarily exceeding
+  /// capacity is safe (the paper's overflow bucket).
+  bool Overflowing(size_t max_entries) const {
+    return entries_.size() > max_entries;
+  }
+
+  /// Result of computing a half-split: the new sibling's seed image plus
+  /// the separator key.
+  struct SplitResult {
+    Key sep = 0;             ///< sibling's low key
+    NodeSnapshot sibling;    ///< upper half, links pre-wired
+  };
+
+  /// Performs the local half of a half-split (Fig. 1): moves the upper
+  /// half of the entries into a new sibling image, shrinks this node's
+  /// range to [low, sep), and re-points the right link at the sibling.
+  /// The caller assigns sibling copies/pc and distributes the snapshot.
+  /// Precondition: size() >= 2.
+  SplitResult HalfSplit(NodeId sibling_id);
+
+  /// Applies an already-computed split to this copy (relayed split /
+  /// split_end): drops entries >= sep, shrinks the range, re-points the
+  /// right link. Out-of-range entries are discarded (their inserts were
+  /// relayed to the sibling's seed or forwarded by the PC).
+  void ApplySplit(Key sep, NodeId sibling_id);
+
+  /// Serializes the full copy state.
+  NodeSnapshot ToSnapshot() const;
+
+  /// Update-id bookkeeping for history checking (backwards extensions)
+  /// and relay idempotence.
+  void NoteApplied(UpdateId update);
+  const std::vector<UpdateId>& applied_updates() const {
+    return applied_updates_;
+  }
+
+  /// True when `update` was already applied at (or folded into the seed
+  /// of) this copy. Always false when update tracking is off — callers
+  /// must then rely on value-level idempotence.
+  bool HasApplied(UpdateId update) const {
+    return update != kNoUpdate && applied_lookup_.contains(update);
+  }
+
+  std::string ToString() const;
+
+ private:
+  NodeId id_;
+  int32_t level_;
+  KeyRange range_;
+  Version version_ = 0;
+  NodeId right_ = kInvalidNode;
+  Key right_low_ = kKeyInfinity;
+  NodeId left_ = kInvalidNode;
+  NodeId parent_ = kInvalidNode;
+  Version link_versions_[3] = {0, 0, 0};
+  std::vector<Entry> entries_;  // sorted by key, unique keys
+  std::vector<ProcessorId> copies_;
+  ProcessorId pc_ = kInvalidProcessor;
+  bool track_updates_;
+  std::vector<UpdateId> applied_updates_;
+  std::unordered_set<UpdateId> applied_lookup_;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_NODE_NODE_H_

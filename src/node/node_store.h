@@ -1,0 +1,71 @@
+// NodeStore: all node copies hosted by one processor, plus the local
+// routing aids the paper's recovery mechanisms need (root hint, forwarding
+// addresses, closest-node lookup).
+
+#ifndef LAZYTREE_NODE_NODE_STORE_H_
+#define LAZYTREE_NODE_NODE_STORE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/node/node.h"
+
+namespace lazytree {
+
+class NodeStore {
+ public:
+  /// Installs a copy. Replaces any dead tombstone with the same id.
+  Node* Install(std::unique_ptr<Node> node);
+
+  /// Removes a copy (unjoin / migration away). Optionally records a
+  /// forwarding address (§4.2) pointing at the node's new host.
+  void Remove(NodeId id, ProcessorId forward_to = kInvalidProcessor);
+
+  /// Local copy, or nullptr.
+  Node* Get(NodeId id);
+  const Node* Get(NodeId id) const;
+
+  /// Forwarding address left by a migrated node, if still retained.
+  ProcessorId Forwarding(NodeId id) const;
+
+  /// Garbage-collects every forwarding address (§4.2: they are an
+  /// optimization, safe to drop at any time).
+  void DropForwardingAddresses() { forwarding_.clear(); }
+  size_t ForwardingCount() const { return forwarding_.size(); }
+
+  /// The locally known root (highest-level local anchor for starting
+  /// operations and for missing-node recovery). Updated lazily.
+  NodeId root_hint() const { return root_hint_; }
+  int32_t root_level() const { return root_level_; }
+  void SetRootHint(NodeId id, int32_t level) {
+    // Ordered by level: only ever move the hint upward.
+    if (level > root_level_ || !root_hint_.valid()) {
+      root_hint_ = id;
+      root_level_ = level;
+    }
+  }
+
+  /// "Find a node that is 'close' to the destination" (§4.2 missing-node
+  /// recovery): the lowest-level local node at level >= `level` whose
+  /// range contains `key`; falls back to the local root copy; returns
+  /// nullptr when this processor stores nothing at all.
+  Node* Closest(Key key, int32_t level);
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Iteration for snapshot collection at quiescence.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [id, node] : nodes_) fn(*node);
+  }
+
+ private:
+  std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::unordered_map<NodeId, ProcessorId> forwarding_;
+  NodeId root_hint_ = kInvalidNode;
+  int32_t root_level_ = -1;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_NODE_NODE_STORE_H_

@@ -1,0 +1,40 @@
+#include "src/oracle/oracle.h"
+
+namespace lazytree {
+
+Status Oracle::Insert(Key key, Value value) {
+  auto [it, fresh] = map_.try_emplace(key, value);
+  if (!fresh) {
+    if (!upsert_) return Status::AlreadyExists("key exists");
+    it->second = value;
+  }
+  return Status::OK();
+}
+
+StatusOr<Value> Oracle::Search(Key key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound("key absent");
+  return it->second;
+}
+
+Status Oracle::Delete(Key key) {
+  return map_.erase(key) ? Status::OK() : Status::NotFound("key absent");
+}
+
+std::vector<Entry> Oracle::Scan(Key start, uint64_t limit) const {
+  std::vector<Entry> out;
+  for (auto it = map_.lower_bound(start);
+       it != map_.end() && out.size() < limit; ++it) {
+    out.push_back(Entry{it->first, it->second});
+  }
+  return out;
+}
+
+std::vector<Entry> Oracle::Dump() const {
+  std::vector<Entry> out;
+  out.reserve(map_.size());
+  for (const auto& [k, v] : map_) out.push_back(Entry{k, v});
+  return out;
+}
+
+}  // namespace lazytree

@@ -1,0 +1,37 @@
+// Oracle: sequential reference dictionary with the same client semantics
+// as DBTree. Tests apply every operation to both and compare.
+
+#ifndef LAZYTREE_ORACLE_ORACLE_H_
+#define LAZYTREE_ORACLE_ORACLE_H_
+
+#include <map>
+#include <vector>
+
+#include "src/msg/action.h"
+#include "src/util/statusor.h"
+
+namespace lazytree {
+
+class Oracle {
+ public:
+  explicit Oracle(bool upsert = false) : upsert_(upsert) {}
+
+  Status Insert(Key key, Value value);
+  StatusOr<Value> Search(Key key) const;
+  Status Delete(Key key);
+  std::vector<Entry> Scan(Key start, uint64_t limit) const;
+
+  size_t size() const { return map_.size(); }
+
+  /// Sorted (key, value) dump — directly comparable with
+  /// Cluster::DumpLeaves().
+  std::vector<Entry> Dump() const;
+
+ private:
+  bool upsert_;
+  std::map<Key, Value> map_;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_ORACLE_ORACLE_H_

@@ -1,0 +1,71 @@
+// FixedCopiesProtocol: shared machinery for the §4.1 family, where every
+// node has a fixed set of copies chosen at creation.
+//
+// Placement is deterministic — copies(n) is a pure function of the node id
+// and level — so any processor can locate any node with no coordination
+// ("fixed-position copies"). Leaves live on one processor; interior nodes
+// are replicated on `interior_replication` processors (0 = all, the
+// dB-tree root-everywhere policy of Fig. 2).
+
+#ifndef LAZYTREE_PROTOCOL_FIXED_H_
+#define LAZYTREE_PROTOCOL_FIXED_H_
+
+#include <vector>
+
+#include "src/protocol/base.h"
+
+namespace lazytree {
+
+/// Deterministic copy set: exposed so Cluster can bootstrap the initial
+/// tree with the exact placement the protocol will compute.
+std::vector<ProcessorId> FixedCopySet(NodeId id, int32_t level,
+                                      uint32_t cluster_size,
+                                      uint32_t interior_replication,
+                                      uint32_t leaf_replication);
+
+class FixedCopiesProtocol : public BaseProtocol {
+ public:
+  using BaseProtocol::BaseProtocol;
+
+ protected:
+  std::vector<ProcessorId> PlaceNewNode(NodeId id, int32_t level) override {
+    return FixedCopySet(id, level, p_.cluster_size(),
+                        p_.config().interior_replication,
+                        p_.config().leaf_replication);
+  }
+
+  ProcessorId ResolveDest(NodeId id, int32_t level) override;
+
+  void HandleInitialInsert(Action a) override;
+  void HandleRelayedInsert(Action a) override;
+  void HandleInitialDelete(Action a) override;
+  void HandleRelayedDelete(Action a) override;
+
+  /// Applies an in-range initial insert at `n`, relays it to the other
+  /// copies, answers the client, and lets the PC consider a split.
+  void PerformInitialInsert(Node& n, Action a);
+
+  /// Same for deletes (free-at-empty: nodes never merge, [11]).
+  void PerformInitialDelete(Node& n, Action a);
+
+  /// Applies a relayed split at a non-PC copy (split_end / relayed split).
+  void ApplyRelayedSplit(Node& n, const Action& a);
+
+  /// PC-side overflow trigger; ordering policy differs per protocol.
+  virtual void InitiateSplit(Node& n) = 0;
+
+  /// True when an initial insert must wait at this copy (sync AAS).
+  virtual bool InsertBlocked(Node& n) {
+    (void)n;
+    return false;
+  }
+
+  /// Policy when the PC receives a relayed insert whose key left the PC's
+  /// range (a split won the race): §4.1.2 rewrites history and forwards;
+  /// the Fig.-4 strawman drops it.
+  virtual void OnPcOutOfRangeRelay(Node& n, Action a) = 0;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_PROTOCOL_FIXED_H_

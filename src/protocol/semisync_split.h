@@ -1,0 +1,29 @@
+// Semi-synchronous split protocol (§4.1.2) — the paper's centerpiece.
+//
+// The PC performs a half-split immediately and relays it with a single
+// message per copy (|copies(n)| messages total — optimal). Inserts are
+// never blocked. When the PC receives a relayed insert whose key a split
+// has already moved away, it "rewrites history": the insert is treated as
+// if it happened before the split, and the PC forwards it as a fresh
+// initial insert to the node that now owns the key (Fig. 5, right side).
+
+#ifndef LAZYTREE_PROTOCOL_SEMISYNC_SPLIT_H_
+#define LAZYTREE_PROTOCOL_SEMISYNC_SPLIT_H_
+
+#include "src/protocol/fixed.h"
+
+namespace lazytree {
+
+class SemiSyncSplitProtocol : public FixedCopiesProtocol {
+ public:
+  using FixedCopiesProtocol::FixedCopiesProtocol;
+
+ protected:
+  void InitiateSplit(Node& n) override;
+  void HandleRelayedSplit(Action a) override;
+  void OnPcOutOfRangeRelay(Node& n, Action a) override;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_PROTOCOL_SEMISYNC_SPLIT_H_

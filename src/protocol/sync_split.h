@@ -1,0 +1,45 @@
+// Synchronous split protocol (§4.1.1).
+//
+// Splits run under an AAS (the distributed lock analogue): the PC sends
+// split_start to every copy, copies block *initial* inserts (searches and
+// relayed inserts keep flowing) and acknowledge, and once all acks arrive
+// the PC performs the half-split and broadcasts split_end. The ordering
+// of inserts vs. splits at the PC becomes the standard every copy obeys.
+// Cost: 3·|copies(n)| messages per split, and initial inserts stall for a
+// round trip — exactly what the semi-synchronous protocol eliminates.
+
+#ifndef LAZYTREE_PROTOCOL_SYNC_SPLIT_H_
+#define LAZYTREE_PROTOCOL_SYNC_SPLIT_H_
+
+#include <unordered_map>
+
+#include "src/protocol/fixed.h"
+
+namespace lazytree {
+
+class SyncSplitProtocol : public FixedCopiesProtocol {
+ public:
+  using FixedCopiesProtocol::FixedCopiesProtocol;
+
+  /// Initial inserts deferred by split AAS so far (tests, bench F5).
+  uint64_t deferred_inserts() const { return deferred_inserts_; }
+
+ protected:
+  void InitiateSplit(Node& n) override;
+  bool InsertBlocked(Node& n) override;
+  void HandleSplitStart(Action a) override;
+  void HandleSplitAck(Action a) override;
+  void HandleSplitEnd(Action a) override;
+  void OnPcOutOfRangeRelay(Node& n, Action a) override;
+
+ private:
+  /// All acks in: perform the half-split at the PC and release everyone.
+  void PerformSyncSplit(Node& n);
+
+  std::unordered_map<NodeId, uint32_t> pending_acks_;
+  uint64_t deferred_inserts_ = 0;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_PROTOCOL_SYNC_SPLIT_H_

@@ -1,0 +1,34 @@
+#include "src/server/aas.h"
+
+#include "src/util/logging.h"
+
+namespace lazytree {
+
+void AasRegistry::Begin(NodeId node) {
+  auto [it, fresh] = active_.try_emplace(node);
+  (void)it;
+  LAZYTREE_CHECK(fresh) << "nested AAS on " << node.ToString();
+}
+
+std::vector<Action> AasRegistry::End(NodeId node) {
+  auto it = active_.find(node);
+  LAZYTREE_CHECK(it != active_.end())
+      << "AAS end without begin on " << node.ToString();
+  std::vector<Action> deferred = std::move(it->second);
+  active_.erase(it);
+  return deferred;
+}
+
+void AasRegistry::Defer(NodeId node, Action action) {
+  auto it = active_.find(node);
+  LAZYTREE_CHECK(it != active_.end())
+      << "defer without active AAS on " << node.ToString();
+  it->second.push_back(std::move(action));
+}
+
+size_t AasRegistry::DeferredCount(NodeId node) const {
+  auto it = active_.find(node);
+  return it == active_.end() ? 0 : it->second.size();
+}
+
+}  // namespace lazytree

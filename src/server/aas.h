@@ -1,0 +1,44 @@
+// AAS engine: atomic action sequences (§3), the distributed analogue of a
+// shared-memory lock.
+//
+// A copy with an active AAS blocks the action kinds that conflict with it;
+// blocked actions are parked here and re-enqueued when the AAS finishes.
+// Only the synchronous-split protocol and the vigorous baseline use this —
+// the point of lazy updates is to not need it.
+
+#ifndef LAZYTREE_SERVER_AAS_H_
+#define LAZYTREE_SERVER_AAS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/msg/action.h"
+
+namespace lazytree {
+
+class AasRegistry {
+ public:
+  /// Starts an AAS on a node copy. Nested AAS on one copy are not needed
+  /// by any protocol here and are rejected.
+  void Begin(NodeId node);
+
+  /// Finishes the AAS; returns the actions parked while it was active,
+  /// in arrival order, for the caller to re-enqueue.
+  std::vector<Action> End(NodeId node);
+
+  bool Active(NodeId node) const { return active_.contains(node); }
+
+  /// Parks an action that conflicts with the node's active AAS.
+  /// Precondition: Active(node).
+  void Defer(NodeId node, Action action);
+
+  size_t DeferredCount(NodeId node) const;
+  size_t ActiveCount() const { return active_.size(); }
+
+ private:
+  std::unordered_map<NodeId, std::vector<Action>> active_;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_SERVER_AAS_H_

@@ -1,0 +1,35 @@
+#include "src/server/op_tracker.h"
+
+#include "src/util/logging.h"
+
+namespace lazytree {
+
+OpId OpTracker::Begin(OpCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpId id = MakeOpId(self_, next_seq_++);
+  pending_.emplace(id, std::move(callback));
+  return id;
+}
+
+void OpTracker::Complete(const OpResult& result) {
+  OpCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(result.op);
+    if (it == pending_.end()) {
+      LAZYTREE_WARN << "completion for unknown op " << result.op;
+      return;
+    }
+    callback = std::move(it->second);
+    pending_.erase(it);
+    ++completed_;
+  }
+  if (callback) callback(result);
+}
+
+size_t OpTracker::Outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace lazytree

@@ -1,0 +1,57 @@
+// OpTracker: outstanding client operations at one processor.
+//
+// Clients submit operations from arbitrary threads; completions arrive on
+// the processor's worker thread as kReturnValue actions. The tracker is the
+// only processor component shared across threads, so it locks internally.
+
+#ifndef LAZYTREE_SERVER_OP_TRACKER_H_
+#define LAZYTREE_SERVER_OP_TRACKER_H_
+
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/msg/action.h"
+#include "src/util/status.h"
+
+namespace lazytree {
+
+/// Outcome of one search / insert / delete / scan operation.
+struct OpResult {
+  OpId op = kNoOp;
+  Status status;      ///< OK, NotFound (search miss), AlreadyExists, ...
+  Key key = 0;
+  Value value = 0;    ///< search hit value
+  uint32_t hops = 0;  ///< node visits the operation made
+  std::vector<Entry> entries;  ///< scan results (ascending by key)
+};
+
+using OpCallback = std::function<void(const OpResult&)>;
+
+class OpTracker {
+ public:
+  explicit OpTracker(ProcessorId self) : self_(self) {}
+
+  /// Registers a new operation; returns its id.
+  OpId Begin(OpCallback callback);
+
+  /// Completes an operation; invokes its callback exactly once.
+  /// Unknown ids are ignored (duplicate completion is a protocol bug that
+  /// tests catch via the completion counter).
+  void Complete(const OpResult& result);
+
+  size_t Outstanding() const;
+  uint64_t completed() const { return completed_; }
+
+ private:
+  ProcessorId self_;
+  mutable std::mutex mu_;
+  std::unordered_map<OpId, OpCallback> pending_;
+  uint32_t next_seq_ = 1;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_SERVER_OP_TRACKER_H_

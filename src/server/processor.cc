@@ -1,0 +1,119 @@
+#include "src/server/processor.h"
+
+#include "src/util/logging.h"
+
+namespace lazytree {
+
+Processor::Processor(ProcessorId id, uint32_t cluster_size,
+                     net::Network* network, history::HistoryLog* history,
+                     const TreeConfig& config)
+    : id_(id),
+      cluster_size_(cluster_size),
+      config_(config),
+      network_(network),
+      history_(history),
+      out_(id, network),
+      ops_(id) {
+  network_->Register(id_, this);
+}
+
+void Processor::SetHandler(std::unique_ptr<ProtocolHandler> handler) {
+  handler_ = std::move(handler);
+}
+
+void Processor::Deliver(Message m) {
+  for (Action& action : m.actions) {
+    actions_handled_.fetch_add(1, std::memory_order_relaxed);
+    if (action.kind == ActionKind::kReturnValue) {
+      OpResult result;
+      result.op = action.op;
+      result.key = action.key;
+      result.hops = action.hops;
+      result.entries = std::move(action.range_results);
+      switch (action.rc) {
+        case Action::Rc::kOk:
+          result.status = Status::OK();
+          result.value = action.value;
+          break;
+        case Action::Rc::kNotFound:
+          result.status = Status::NotFound("key absent");
+          break;
+        case Action::Rc::kExists:
+          result.status = Status::AlreadyExists("key exists");
+          break;
+        case Action::Rc::kNone:
+          result.status = Status::Internal("return without rc");
+          break;
+      }
+      ops_.Complete(result);
+      continue;
+    }
+    LAZYTREE_CHECK(handler_ != nullptr) << "no protocol installed on p" << id_;
+    handler_->Handle(action);
+  }
+}
+
+Node* Processor::InstallNode(std::unique_ptr<Node> node) {
+  if (history_ != nullptr && history_->enabled()) {
+    history_->OnCopyCreated(node->id(), id_, node->applied_updates());
+  }
+  return store_.Install(std::move(node));
+}
+
+void Processor::RemoveNode(NodeId node, ProcessorId forward_to) {
+  if (history_ != nullptr && history_->enabled()) {
+    history_->OnCopyDeleted(node, id_);
+  }
+  store_.Remove(node, forward_to);
+}
+
+OpId Processor::SubmitSearch(Key key, OpCallback callback) {
+  LAZYTREE_CHECK(key != kKeyInfinity) << "reserved key";
+  OpId op = ops_.Begin(std::move(callback));
+  Action a;
+  a.kind = ActionKind::kSearch;
+  a.op = op;
+  a.key = key;
+  a.origin = id_;
+  out_.SendLocal(std::move(a));
+  return op;
+}
+
+OpId Processor::SubmitInsert(Key key, Value value, OpCallback callback) {
+  LAZYTREE_CHECK(key != kKeyInfinity) << "reserved key";
+  OpId op = ops_.Begin(std::move(callback));
+  Action a;
+  a.kind = ActionKind::kInsertOp;
+  a.op = op;
+  a.key = key;
+  a.value = value;
+  a.origin = id_;
+  out_.SendLocal(std::move(a));
+  return op;
+}
+
+OpId Processor::SubmitDelete(Key key, OpCallback callback) {
+  LAZYTREE_CHECK(key != kKeyInfinity) << "reserved key";
+  OpId op = ops_.Begin(std::move(callback));
+  Action a;
+  a.kind = ActionKind::kDeleteOp;
+  a.op = op;
+  a.key = key;
+  a.origin = id_;
+  out_.SendLocal(std::move(a));
+  return op;
+}
+
+OpId Processor::SubmitScan(Key start, uint64_t limit, OpCallback callback) {
+  OpId op = ops_.Begin(std::move(callback));
+  Action a;
+  a.kind = ActionKind::kScanOp;
+  a.op = op;
+  a.key = start == kKeyInfinity ? kKeyInfinity - 1 : start;
+  a.value = limit;  // scan limit rides in `value`
+  a.origin = id_;
+  out_.SendLocal(std::move(a));
+  return op;
+}
+
+}  // namespace lazytree

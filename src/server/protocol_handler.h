@@ -1,0 +1,24 @@
+// ProtocolHandler: per-processor strategy object implementing one of the
+// paper's replica-maintenance algorithms (protocol/).
+
+#ifndef LAZYTREE_SERVER_PROTOCOL_HANDLER_H_
+#define LAZYTREE_SERVER_PROTOCOL_HANDLER_H_
+
+#include "src/msg/action.h"
+
+namespace lazytree {
+
+class Processor;
+
+class ProtocolHandler {
+ public:
+  virtual ~ProtocolHandler() = default;
+
+  /// Executes one action against the local node store. Runs on the
+  /// processor's (single) worker thread, so an action on a node is atomic.
+  virtual void Handle(const Action& action) = 0;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_SERVER_PROTOCOL_HANDLER_H_

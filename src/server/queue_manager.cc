@@ -1,0 +1,3 @@
+#include "src/server/queue_manager.h"
+
+// Header-only today; the translation unit anchors the library target.

@@ -1,0 +1,49 @@
+// QueueManager: the paper's per-processor message-queue component (§1.1).
+//
+// The node manager hands it subsequent actions; it routes each one to the
+// processor storing the target copy — a self-send lands back in the local
+// queue (the paper's "new entry is put into the message queue"), a remote
+// send crosses the Network. Self-sends are counted as local messages, not
+// network traffic.
+
+#ifndef LAZYTREE_SERVER_QUEUE_MANAGER_H_
+#define LAZYTREE_SERVER_QUEUE_MANAGER_H_
+
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace lazytree {
+
+class QueueManager {
+ public:
+  QueueManager(ProcessorId self, net::Network* network)
+      : self_(self), network_(network) {}
+
+  ProcessorId self() const { return self_; }
+
+  /// Routes one action to `dest` (which may be self_).
+  void SendAction(ProcessorId dest, Action action) {
+    network_->Send(Message(self_, dest, std::move(action)));
+  }
+
+  /// Re-enqueues an action locally (deferred work, local hops).
+  void SendLocal(Action action) { SendAction(self_, std::move(action)); }
+
+  /// Sends a copy of `action` to every processor in `dests` except self.
+  void Broadcast(const std::vector<ProcessorId>& dests, const Action& action) {
+    for (ProcessorId d : dests) {
+      if (d != self_) SendAction(d, action);
+    }
+  }
+
+  net::Network* network() { return network_; }
+
+ private:
+  ProcessorId self_;
+  net::Network* network_;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_SERVER_QUEUE_MANAGER_H_

@@ -1,0 +1,88 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace lazytree {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < 4) return static_cast<int>(value);  // exact small buckets
+  int log2 = 63 - std::countl_zero(value);
+  // Two bits below the leading bit select the sub-bucket.
+  int sub = static_cast<int>((value >> (log2 - 2)) & 3);
+  int bucket = log2 * 4 + sub;
+  return std::min(bucket, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketLow(int bucket) {
+  if (bucket < 4) return static_cast<uint64_t>(bucket);
+  // Buckets 4..7 are a gap in the mapping (values >= 4 start at bucket
+  // 8); collapse their lower edge to 4 so interpolation around the
+  // small exact buckets stays sane (a negative shift here was UB).
+  if (bucket < 8) return 4;
+  int log2 = bucket / 4;
+  int sub = bucket % 4;
+  return (1ull << log2) | (static_cast<uint64_t>(sub) << (log2 - 2));
+}
+
+void Histogram::Record(uint64_t value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const uint64_t next = seen + buckets_[i];
+    if (static_cast<double>(next) >= target) {
+      const uint64_t low = std::max(BucketLow(i), min());
+      const uint64_t high =
+          i + 1 < kBuckets ? std::min(BucketLow(i + 1), max()) : max();
+      const double frac =
+          buckets_[i] ? (target - static_cast<double>(seen)) /
+                            static_cast<double>(buckets_[i])
+                      : 0.0;
+      return static_cast<double>(low) +
+             frac * static_cast<double>(high - low);
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%llu",
+                static_cast<unsigned long long>(count_), mean(), P50(),
+                P95(), P99(), static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace lazytree

@@ -1,0 +1,60 @@
+// Latency / value histogram with percentile reporting.
+//
+// Log-bucketed (RocksDB-statistics style): constant-time record, ~4% bucket
+// resolution, merge support for per-thread collection.
+
+#ifndef LAZYTREE_UTIL_HISTOGRAM_H_
+#define LAZYTREE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lazytree {
+
+/// Fixed-bucket histogram of non-negative 64-bit samples.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Adds one sample.
+  void Record(uint64_t value);
+
+  /// Adds all samples from `other`.
+  void Merge(const Histogram& other);
+
+  /// Discards all samples.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+  }
+
+  /// Value at percentile p in [0, 100]. Interpolated within a bucket.
+  double Percentile(double p) const;
+
+  double P50() const { return Percentile(50); }
+  double P95() const { return Percentile(95); }
+  double P99() const { return Percentile(99); }
+
+  /// One-line summary: "count=... mean=... p50=... p95=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBuckets = 64 * 4;  // 4 sub-buckets per power of two
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLow(int bucket);
+
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_UTIL_HISTOGRAM_H_

@@ -1,0 +1,67 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace lazytree {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::once_flag g_env_once;
+
+void InitFromEnv() {
+  const char* env = std::getenv("LAZYTREE_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) g_level = 0;
+  else if (std::strcmp(env, "info") == 0) g_level = 1;
+  else if (std::strcmp(env, "warn") == 0) g_level = 2;
+  else if (std::strcmp(env, "error") == 0) g_level = 3;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel GetLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message) {
+  // One fprintf call keeps lines from interleaving across threads.
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
+               line, message.c_str());
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expr)
+    : file_(file), line_(line), expr_(expr) {}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "[FATAL %s:%d] CHECK failed: %s %s\n",
+               Basename(file_), line_, expr_, stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lazytree

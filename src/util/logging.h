@@ -1,0 +1,84 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// The default level is kWarn so tests and benches stay quiet; set
+// LAZYTREE_LOG=debug|info|warn|error (or call SetLogLevel) to change it.
+
+#ifndef LAZYTREE_UTIL_LOGGING_H_
+#define LAZYTREE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lazytree {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted line ("[level file:line] message\n") to stderr.
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+/// Stream-style collector used by the LAZYTREE_LOG_* macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define LAZYTREE_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(                 \
+          ::lazytree::GetLogLevel())) {                           \
+  } else                                                          \
+    ::lazytree::internal::LogMessage(level, __FILE__, __LINE__)   \
+        .stream()
+
+#define LAZYTREE_DEBUG LAZYTREE_LOG(::lazytree::LogLevel::kDebug)
+#define LAZYTREE_INFO LAZYTREE_LOG(::lazytree::LogLevel::kInfo)
+#define LAZYTREE_WARN LAZYTREE_LOG(::lazytree::LogLevel::kWarn)
+#define LAZYTREE_ERROR LAZYTREE_LOG(::lazytree::LogLevel::kError)
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// protocol invariants guard data integrity, so we never compile them out.
+#define LAZYTREE_CHECK(cond)                                           \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::lazytree::internal::CheckFailure(__FILE__, __LINE__, #cond)      \
+        .stream()
+
+namespace internal {
+
+/// Collects the failure message, prints it, and aborts in the destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace lazytree
+
+#endif  // LAZYTREE_UTIL_LOGGING_H_

@@ -1,0 +1,79 @@
+// Deterministic, seedable random number generation.
+//
+// Protocol tests replay adversarial schedules by seed, so all randomness in
+// the library flows through Rng (xoshiro256**, seeded via splitmix64).
+// Never use std::rand or random_device inside the library.
+
+#ifndef LAZYTREE_UTIL_RNG_H_
+#define LAZYTREE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace lazytree {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, fully deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9Bull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    for (auto& word : s_) word = SplitMix64(seed);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t Below(uint64_t bound) {
+    if (bound == 0) return 0;
+    // Debiased multiply-shift (Lemire).
+    while (true) {
+      uint64_t x = Next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t low = static_cast<uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_UTIL_RNG_H_

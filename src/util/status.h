@@ -1,0 +1,134 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Follows the RocksDB/Abseil idiom: functions that can fail return a Status
+// (or a StatusOr<T>, see statusor.h). Statuses are cheap to copy in the OK
+// case and carry a code plus a human-readable message otherwise.
+
+#ifndef LAZYTREE_UTIL_STATUS_H_
+#define LAZYTREE_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lazytree {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,        ///< key / node / copy does not exist
+  kAlreadyExists = 2,   ///< duplicate key or duplicate registration
+  kInvalidArgument = 3, ///< caller error: bad parameter
+  kOutOfRange = 4,      ///< key outside a node's range (misnavigation)
+  kUnavailable = 5,     ///< processor stopped or channel closed
+  kInternal = 6,        ///< invariant violation (a bug)
+  kTimedOut = 7,        ///< operation did not finish within its deadline
+  kAborted = 8,         ///< operation abandoned (e.g. shutdown)
+};
+
+/// Returns a stable lowercase name for a code ("ok", "not_found", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: OK, or an error code plus message.
+///
+/// The OK status stores no heap state; error statuses allocate once for the
+/// message. Statuses are value types and safe to pass across threads.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  Status(StatusCode code, std::string_view message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(code, std::string(message))) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view m) {
+    return Status(StatusCode::kNotFound, m);
+  }
+  static Status AlreadyExists(std::string_view m) {
+    return Status(StatusCode::kAlreadyExists, m);
+  }
+  static Status InvalidArgument(std::string_view m) {
+    return Status(StatusCode::kInvalidArgument, m);
+  }
+  static Status OutOfRange(std::string_view m) {
+    return Status(StatusCode::kOutOfRange, m);
+  }
+  static Status Unavailable(std::string_view m) {
+    return Status(StatusCode::kUnavailable, m);
+  }
+  static Status Internal(std::string_view m) {
+    return Status(StatusCode::kInternal, m);
+  }
+  static Status TimedOut(std::string_view m) {
+    return Status(StatusCode::kTimedOut, m);
+  }
+  static Status Aborted(std::string_view m) {
+    return Status(StatusCode::kAborted, m);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code() == StatusCode::kAlreadyExists;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+
+  /// Message for an error status; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "ok";
+    std::string s = StatusCodeName(code());
+    s += ": ";
+    s += message();
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kTimedOut: return "timed_out";
+    case StatusCode::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+/// Propagates a non-OK status to the caller.
+#define LAZYTREE_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::lazytree::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_UTIL_STATUS_H_

@@ -1,0 +1,62 @@
+// StatusOr<T>: a Status or a value of type T, never both.
+
+#ifndef LAZYTREE_UTIL_STATUSOR_H_
+#define LAZYTREE_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace lazytree {
+
+/// Holds either an error Status or a value.
+///
+/// Usage:
+///   StatusOr<Value> r = tree.Search(k);
+///   if (!r.ok()) return r.status();
+///   Use(*r);
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_UTIL_STATUSOR_H_

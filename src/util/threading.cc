@@ -1,0 +1,46 @@
+#include "src/util/threading.h"
+
+#include "src/util/logging.h"
+
+namespace lazytree {
+
+void WaitGroup::Add(int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ += delta;
+  LAZYTREE_CHECK(count_ >= 0) << "WaitGroup underflow";
+}
+
+void WaitGroup::Done() {
+  bool zero;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --count_;
+    LAZYTREE_CHECK(count_ >= 0) << "WaitGroup underflow";
+    zero = (count_ == 0);
+  }
+  if (zero) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return count_ == 0; });
+}
+
+bool WaitGroup::WaitFor(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [&] { return count_ == 0; });
+}
+
+int64_t WaitGroup::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace lazytree

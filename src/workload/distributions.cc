@@ -1,0 +1,69 @@
+#include "src/workload/distributions.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace lazytree::workload {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfianDist::ZipfianDist(uint64_t n, Key space, double theta)
+    : n_(n), space_(space), theta_(theta) {
+  LAZYTREE_CHECK(n_ >= 1 && theta_ > 0 && theta_ < 1)
+      << "zipfian wants 0 < theta < 1";
+  zetan_ = Zeta(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+Key ZipfianDist::KeyForRank(uint64_t rank) const {
+  // Scramble so hot keys are not adjacent (fnv-ish mix into the space).
+  uint64_t h = rank;
+  h = SplitMix64(h);
+  return 1 + (h % (space_ - 1));
+}
+
+Key ZipfianDist::Next(Rng& rng) {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  uint64_t rank;
+  if (uz < 1.0) {
+    rank = 1;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 2;
+  } else {
+    rank = 1 + static_cast<uint64_t>(
+                   static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank > n_) rank = n_;
+  }
+  return KeyForRank(rank);
+}
+
+std::unique_ptr<KeyDistribution> MakeDistribution(const std::string& name,
+                                                  Key space) {
+  if (name == "uniform") return std::make_unique<UniformDist>(space);
+  if (name == "sequential") return std::make_unique<SequentialDist>();
+  if (name == "zipfian") {
+    return std::make_unique<ZipfianDist>(/*n=*/100000, space);
+  }
+  if (name == "hotspot") {
+    return std::make_unique<HotspotDist>(space, 0.05, 0.9);
+  }
+  LAZYTREE_CHECK(false) << "unknown distribution " << name;
+  return nullptr;
+}
+
+}  // namespace lazytree::workload

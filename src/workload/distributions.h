@@ -1,0 +1,105 @@
+// Key distributions for workload generation.
+//
+// The benches sweep access patterns because the dB-tree's behaviour is
+// pattern-sensitive: sequential ingest hammers the rightmost leaf (the
+// data-balancing motivation of [14]), Zipfian reads concentrate on a few
+// hot paths (where interior replication pays), and uniform traffic is
+// the neutral baseline.
+
+#ifndef LAZYTREE_WORKLOAD_DISTRIBUTIONS_H_
+#define LAZYTREE_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/msg/key.h"
+#include "src/util/rng.h"
+
+namespace lazytree::workload {
+
+/// Generates keys in [1, space) under some distribution.
+class KeyDistribution {
+ public:
+  virtual ~KeyDistribution() = default;
+  virtual Key Next(Rng& rng) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Uniform over the key space.
+class UniformDist : public KeyDistribution {
+ public:
+  explicit UniformDist(Key space) : space_(space) {}
+  Key Next(Rng& rng) override { return 1 + rng.Below(space_ - 1); }
+  const char* name() const override { return "uniform"; }
+
+ private:
+  Key space_;
+};
+
+/// Strictly increasing keys — the time-ordered ingest pattern that sends
+/// every insert to the current rightmost leaf.
+class SequentialDist : public KeyDistribution {
+ public:
+  explicit SequentialDist(Key start = 1, Key stride = 1)
+      : next_(start), stride_(stride) {}
+  Key Next(Rng&) override {
+    Key k = next_;
+    next_ += stride_;
+    return k;
+  }
+  const char* name() const override { return "sequential"; }
+
+ private:
+  Key next_;
+  Key stride_;
+};
+
+/// Zipfian over `n` distinct ranks mapped onto the key space, using the
+/// Gray et al. rejection-free approximation (as in YCSB). Rank r has
+/// probability proportional to 1/r^theta.
+class ZipfianDist : public KeyDistribution {
+ public:
+  ZipfianDist(uint64_t n, Key space, double theta = 0.99);
+  Key Next(Rng& rng) override;
+  const char* name() const override { return "zipfian"; }
+
+  /// Rank -> key mapping (scrambled so hot ranks scatter over the space).
+  Key KeyForRank(uint64_t rank) const;
+
+ private:
+  uint64_t n_;
+  Key space_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+/// A fraction `hot_ops` of accesses hit a contiguous `hot_fraction` of
+/// the key space (the classic hotspot model).
+class HotspotDist : public KeyDistribution {
+ public:
+  HotspotDist(Key space, double hot_fraction, double hot_ops)
+      : space_(space), hot_fraction_(hot_fraction), hot_ops_(hot_ops) {}
+  Key Next(Rng& rng) override {
+    const Key hot_span =
+        std::max<Key>(1, static_cast<Key>(space_ * hot_fraction_));
+    if (rng.Chance(hot_ops_)) return 1 + rng.Below(hot_span);
+    return 1 + rng.Below(space_ - 1);
+  }
+  const char* name() const override { return "hotspot"; }
+
+ private:
+  Key space_;
+  double hot_fraction_;
+  double hot_ops_;
+};
+
+/// Factory by name ("uniform" | "sequential" | "zipfian" | "hotspot").
+std::unique_ptr<KeyDistribution> MakeDistribution(const std::string& name,
+                                                  Key space);
+
+}  // namespace lazytree::workload
+
+#endif  // LAZYTREE_WORKLOAD_DISTRIBUTIONS_H_

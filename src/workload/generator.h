@@ -1,0 +1,55 @@
+// Workload generator: turns an operation mix + key distribution into a
+// reproducible operation stream (deletes draw from previously inserted
+// keys, so streams make sense against a dictionary).
+
+#ifndef LAZYTREE_WORKLOAD_GENERATOR_H_
+#define LAZYTREE_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/workload/distributions.h"
+
+namespace lazytree::workload {
+
+/// Operation-type proportions; they need not sum to 1 (normalized).
+struct OpMix {
+  double insert = 0.5;
+  double search = 0.5;
+  double erase = 0.0;
+  double scan = 0.0;
+};
+
+struct GenOp {
+  enum class Type { kInsert, kSearch, kDelete, kScan };
+  Type type = Type::kSearch;
+  Key key = 0;
+  Value value = 0;
+  uint64_t scan_limit = 0;
+};
+
+const char* GenOpName(GenOp::Type type);
+
+class Generator {
+ public:
+  Generator(OpMix mix, std::unique_ptr<KeyDistribution> dist,
+            uint64_t seed);
+
+  /// Produces the next operation. Delete targets come from keys this
+  /// generator inserted earlier (each deleted at most once); when none
+  /// are available a delete becomes a search.
+  GenOp Next();
+
+  size_t live_keys() const { return live_.size(); }
+
+ private:
+  OpMix mix_;
+  double total_;
+  std::unique_ptr<KeyDistribution> dist_;
+  Rng rng_;
+  std::vector<Key> live_;
+};
+
+}  // namespace lazytree::workload
+
+#endif  // LAZYTREE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,69 @@
+// Balancer tests: load measurement and convergence to even leaf
+// distribution on both §4.2 (mobile) and §4.3 (variable copies).
+
+#include <gtest/gtest.h>
+
+#include "src/core/balancer.h"
+#include "tests/test_util.h"
+
+namespace lazytree {
+namespace {
+
+using testing::ExpectCorrect;
+using testing::ExpectMatchesOracle;
+using testing::RandomKeys;
+using testing::SimOptions;
+
+class BalancerTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(BalancerTest, EvensOutASkewedCluster) {
+  Cluster cluster(SimOptions(GetParam(), 4, 3));
+  cluster.Start();
+  Oracle oracle;
+  // Everything lands on p0 initially: maximal skew.
+  for (Key k : RandomKeys(500, 5)) {
+    ASSERT_TRUE(cluster.Insert(0, k, k).ok());
+    ASSERT_TRUE(oracle.Insert(k, k).ok());
+  }
+  Balancer balancer(&cluster);
+  auto before = balancer.Measure();
+  EXPECT_GT(before.total_leaves, 10u);
+  EXPECT_NEAR(before.imbalance, 4.0, 0.01) << "all load on one of four";
+
+  auto after = balancer.RebalanceUntil(/*target_imbalance=*/1.35);
+  EXPECT_LE(after.imbalance, 1.35);
+  EXPECT_EQ(after.total_leaves, before.total_leaves) << "no leaf lost";
+  EXPECT_GT(balancer.migrations_issued(), 0u);
+
+  ExpectMatchesOracle(cluster, oracle);
+  ExpectCorrect(cluster);
+}
+
+TEST_P(BalancerTest, RebalanceOnAlreadyEvenClusterIsANoop) {
+  ClusterOptions o = SimOptions(GetParam(), 4, 7);
+  o.tree.shed_threshold = 3;  // online shedding keeps it even
+  Cluster cluster(o);
+  cluster.Start();
+  size_t i = 0;
+  for (Key k : RandomKeys(400, 9)) {
+    ASSERT_TRUE(cluster.Insert(static_cast<ProcessorId>(i++ % 4), k, k).ok());
+  }
+  Balancer balancer(&cluster);
+  auto stats = balancer.RebalanceUntil(1.5);
+  EXPECT_LE(stats.imbalance, 1.5);
+  // A second pass from an even state issues little or nothing.
+  size_t more = balancer.RebalanceOnce();
+  EXPECT_LE(more, stats.total_leaves / 4);
+  cluster.Settle();
+  ExpectCorrect(cluster);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MobileProtocols, BalancerTest,
+    ::testing::Values(ProtocolKind::kMobile, ProtocolKind::kVarCopies),
+    [](const ::testing::TestParamInfo<ProtocolKind>& pinfo) {
+      return std::string(ProtocolKindName(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace lazytree

@@ -1,0 +1,220 @@
+// Shared-memory B-link tree tests: sequential correctness, structural
+// invariants, and real multi-threaded hammering against the oracle.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/blink/blink_tree.h"
+#include "src/blink/lock_tree.h"
+#include "src/oracle/oracle.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace lazytree {
+namespace {
+
+using testing::RandomKeys;
+
+TEST(BlinkTree, EmptySearchMisses) {
+  BlinkTree tree(8);
+  EXPECT_FALSE(tree.Search(7).has_value());
+  EXPECT_EQ(tree.Size(), 0u);
+}
+
+TEST(BlinkTree, InsertSearchRoundTrip) {
+  BlinkTree tree(8);
+  EXPECT_TRUE(tree.Insert(5, 50));
+  EXPECT_FALSE(tree.Insert(5, 51)) << "duplicate rejected";
+  auto hit = tree.Search(5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 50u);
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(BlinkTree, SequentialBulkMatchesOracle) {
+  BlinkTree tree(6);
+  Oracle oracle;
+  for (Key k : RandomKeys(5000, 42)) {
+    EXPECT_TRUE(tree.Insert(k, k ^ 0xABCD));
+    ASSERT_TRUE(oracle.Insert(k, k ^ 0xABCD).ok());
+  }
+  EXPECT_EQ(tree.Size(), 5000u);
+  EXPECT_EQ(tree.CheckStructure(), 0u);
+  EXPECT_GE(tree.Height(), 4);
+  for (const Entry& e : oracle.Dump()) {
+    auto hit = tree.Search(e.key);
+    ASSERT_TRUE(hit.has_value()) << e.key;
+    EXPECT_EQ(*hit, e.payload);
+  }
+  EXPECT_FALSE(tree.Search(0).has_value());
+}
+
+TEST(BlinkTree, AscendingAndDescendingFills) {
+  for (bool ascending : {true, false}) {
+    BlinkTree tree(4);
+    for (int i = 1; i <= 2000; ++i) {
+      Key k = ascending ? static_cast<Key>(i)
+                        : static_cast<Key>(2001 - i);
+      ASSERT_TRUE(tree.Insert(k, k));
+    }
+    EXPECT_EQ(tree.Size(), 2000u);
+    EXPECT_EQ(tree.CheckStructure(), 0u);
+    for (Key k = 1; k <= 2000; ++k) {
+      ASSERT_TRUE(tree.Search(k).has_value()) << k;
+    }
+  }
+}
+
+TEST(BlinkTree, ConcurrentInsertersConverge) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  BlinkTree tree(16);
+  std::vector<Key> keys = RandomKeys(kThreads * kPerThread, 7);
+  std::vector<std::thread> workers;
+  std::atomic<int> dup_count{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!tree.Insert(keys[t * kPerThread + i], 1)) ++dup_count;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(dup_count.load(), 0);
+  EXPECT_EQ(tree.Size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(tree.CheckStructure(), 0u);
+  for (size_t i = 0; i < keys.size(); i += 101) {
+    ASSERT_TRUE(tree.Search(keys[i]).has_value()) << keys[i];
+  }
+}
+
+TEST(BlinkTree, ConcurrentReadersSeeEveryCommittedKey) {
+  // Writers insert ascending ranges; readers continuously verify that a
+  // key observed once never disappears (splits must not lose keys).
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 3000;
+  BlinkTree tree(8);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> lost{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(100 + r);
+      std::vector<Key> seen;
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!seen.empty()) {
+          Key k = seen[rng.Below(seen.size())];
+          if (!tree.Search(k).has_value()) {
+            lost.fetch_add(1);
+          }
+        }
+        Key probe = rng.Range(1, kWriters * kPerWriter);
+        if (tree.Search(probe).has_value()) seen.push_back(probe);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 1; i <= kPerWriter; ++i) {
+        tree.Insert(static_cast<Key>(w * kPerWriter + i), 1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(lost.load(), 0u) << "a committed key became unreachable";
+  EXPECT_EQ(tree.CheckStructure(), 0u);
+}
+
+TEST(BlinkTree, DeleteAndFreeAtEmpty) {
+  BlinkTree tree(4);
+  Oracle oracle;
+  for (Key k : RandomKeys(1000, 55)) {
+    ASSERT_TRUE(tree.Insert(k, k));
+    ASSERT_TRUE(oracle.Insert(k, k).ok());
+  }
+  std::vector<Entry> dump = oracle.Dump();
+  // Delete everything in a middle band (empties whole leaves).
+  for (size_t i = 250; i < 750; ++i) {
+    EXPECT_TRUE(tree.Delete(dump[i].key));
+    ASSERT_TRUE(oracle.Delete(dump[i].key).ok());
+  }
+  EXPECT_FALSE(tree.Delete(dump[300].key)) << "double delete";
+  EXPECT_EQ(tree.Size(), 500u);
+  EXPECT_EQ(tree.CheckStructure(), 0u) << "emptied leaves stay linked";
+  for (const Entry& e : oracle.Dump()) {
+    ASSERT_TRUE(tree.Search(e.key).has_value()) << e.key;
+  }
+  EXPECT_FALSE(tree.Search(dump[400].key).has_value());
+}
+
+TEST(BlinkTree, ScanMatchesOracleAcrossEmptiedLeaves) {
+  BlinkTree tree(4);
+  Oracle oracle;
+  for (Key k : RandomKeys(800, 77)) {
+    ASSERT_TRUE(tree.Insert(k, k * 3));
+    ASSERT_TRUE(oracle.Insert(k, k * 3).ok());
+  }
+  std::vector<Entry> dump = oracle.Dump();
+  for (size_t i = 200; i < 500; ++i) {
+    ASSERT_TRUE(tree.Delete(dump[i].key));
+    ASSERT_TRUE(oracle.Delete(dump[i].key).ok());
+  }
+  Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    Key start = rng.Range(1, 1u << 30);
+    size_t limit = 1 + rng.Below(50);
+    auto got = tree.Scan(start, limit);
+    auto want = oracle.Scan(start, limit);
+    ASSERT_EQ(got.size(), want.size()) << "start " << start;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].key);
+      EXPECT_EQ(got[i].second, want[i].payload);
+    }
+  }
+  EXPECT_TRUE(tree.Scan(1, 0).empty());
+}
+
+TEST(BlinkTree, ConcurrentMixedWithDeletes) {
+  BlinkTree tree(16);
+  constexpr int kThreads = 6;
+  std::vector<Key> keys = RandomKeys(kThreads * 3000, 99);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Each thread inserts its own slice, then deletes half of it.
+      for (int i = 0; i < 3000; ++i) tree.Insert(keys[t * 3000 + i], 1);
+      for (int i = 0; i < 3000; i += 2) tree.Delete(keys[t * 3000 + i]);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tree.Size(), static_cast<size_t>(kThreads * 1500));
+  EXPECT_EQ(tree.CheckStructure(), 0u);
+  for (size_t i = 1; i < keys.size(); i += 101) {
+    EXPECT_EQ(tree.Search(keys[i]).has_value(), i % 2 == 1);
+  }
+}
+
+TEST(LockTree, BasicsAndConcurrency) {
+  LockTree tree;
+  EXPECT_TRUE(tree.Insert(1, 10));
+  EXPECT_FALSE(tree.Insert(1, 11));
+  ASSERT_TRUE(tree.Search(1).has_value());
+  EXPECT_EQ(*tree.Search(1), 10u);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (Key k = 0; k < 2000; ++k) tree.Insert(k * 4 + t + 2, k);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tree.Size(), 8001u);
+}
+
+}  // namespace
+}  // namespace lazytree

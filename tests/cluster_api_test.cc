@@ -1,0 +1,218 @@
+// Cluster / DBTree public-surface tests: facade behaviour, structure
+// checker sharpness, piggybacked cluster wiring, stats plumbing.
+
+#include <gtest/gtest.h>
+
+#include "src/core/dbtree.h"
+#include "tests/test_util.h"
+
+namespace lazytree {
+namespace {
+
+using testing::RandomKeys;
+using testing::SimOptions;
+
+TEST(DBTreeFacade, FullDictionaryLifecycle) {
+  ClusterOptions o = SimOptions(ProtocolKind::kSemiSyncSplit, 4, 1);
+  DBTree tree(o);
+  EXPECT_EQ(tree.KeyCount(), 0u);
+  ASSERT_TRUE(tree.Insert(1, 10).ok());
+  ASSERT_TRUE(tree.Insert(2, 20).ok());
+  ASSERT_TRUE(tree.Insert(3, 30).ok());
+  EXPECT_EQ(tree.Insert(2, 99).code(), StatusCode::kAlreadyExists);
+
+  auto hit = tree.Search(2);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, 20u);
+
+  auto range = tree.Scan(2, 10);
+  ASSERT_TRUE(range.ok());
+  ASSERT_EQ(range->size(), 2u);
+  EXPECT_EQ((*range)[0].key, 2u);
+  EXPECT_EQ((*range)[1].key, 3u);
+
+  ASSERT_TRUE(tree.Delete(2).ok());
+  EXPECT_EQ(tree.Search(2).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.KeyCount(), 2u);
+  EXPECT_TRUE(tree.cluster().VerifyHistories().ok());
+}
+
+TEST(DBTreeFacade, RoundRobinHomesAllWork) {
+  ClusterOptions o = SimOptions(ProtocolKind::kVarCopies, 3, 5);
+  DBTree tree(o);
+  // 3*n operations hit every home; all must succeed.
+  for (Key k = 1; k <= 90; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  for (Key k = 1; k <= 90; ++k) ASSERT_TRUE(tree.Search(k).ok());
+}
+
+TEST(ClusterApi, DumpLeavesMatchesScan) {
+  Cluster cluster(SimOptions(ProtocolKind::kSemiSyncSplit, 4, 9));
+  cluster.Start();
+  for (Key k : RandomKeys(200, 3)) {
+    ASSERT_TRUE(cluster.Insert(k % 4, k, k).ok());
+  }
+  auto dump = cluster.DumpLeaves();
+  auto scan = cluster.Scan(0, 0, 100000);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(dump.size(), scan->size());
+  for (size_t i = 0; i < dump.size(); ++i) {
+    EXPECT_EQ(dump[i].key, (*scan)[i].key);
+  }
+}
+
+TEST(ClusterApi, StructureCheckerFlagsDamage) {
+  Cluster cluster(SimOptions(ProtocolKind::kSemiSyncSplit, 2, 11));
+  cluster.Start();
+  for (Key k : RandomKeys(100, 13)) {
+    ASSERT_TRUE(cluster.Insert(k % 2, k, k).ok());
+  }
+  ASSERT_TRUE(cluster.CheckTreeStructure().empty());
+  // Vandalize one leaf's range: the checker must notice.
+  Node* victim = nullptr;
+  cluster.processor(0).store().ForEach([&](const Node& n) {
+    if (n.is_leaf() && n.range().high != kKeyInfinity && victim == nullptr) {
+      victim = cluster.processor(0).store().Get(n.id());
+    }
+  });
+  ASSERT_NE(victim, nullptr);
+  victim->ApplySplit(victim->range().low + (victim->range().high -
+                                            victim->range().low) /
+                                               2,
+                     NodeId::Make(9, 999));
+  auto violations = cluster.CheckTreeStructure();
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(ClusterApi, NetStatsAndHistoryAccessors) {
+  ClusterOptions o = SimOptions(ProtocolKind::kSemiSyncSplit, 3, 15);
+  o.piggyback_window = 4;
+  Cluster cluster(o);
+  cluster.Start();
+  ASSERT_TRUE(cluster.Insert(0, 5, 50).ok());
+  auto stats = cluster.NetStats();
+  EXPECT_GT(stats.local_messages + stats.remote_messages, 0u);
+  EXPECT_GT(cluster.history_log().RecordCount(), 0u);
+  EXPECT_NE(cluster.sim(), nullptr);
+  EXPECT_EQ(cluster.size(), 3u);
+}
+
+TEST(ClusterApi, HistoryTrackingOffStillServes) {
+  ClusterOptions o = SimOptions(ProtocolKind::kVarCopies, 4, 17);
+  o.tree.track_history = false;
+  Cluster cluster(o);
+  cluster.Start();
+  Oracle oracle;
+  for (Key k : RandomKeys(200, 19)) {
+    ASSERT_TRUE(cluster.Insert(k % 4, k, k).ok());
+    ASSERT_TRUE(oracle.Insert(k, k).ok());
+  }
+  testing::ExpectMatchesOracle(cluster, oracle);
+  EXPECT_EQ(cluster.history_log().RecordCount(), 0u);
+  // The checkers pass vacuously on an empty log.
+  EXPECT_TRUE(cluster.VerifyHistories().ok());
+}
+
+TEST(ClusterApi, SingleProcessorDegenerateCluster) {
+  for (ProtocolKind protocol :
+       {ProtocolKind::kSemiSyncSplit, ProtocolKind::kSyncSplit,
+        ProtocolKind::kVigorous, ProtocolKind::kMobile,
+        ProtocolKind::kVarCopies}) {
+    Cluster cluster(SimOptions(protocol, 1, 21));
+    cluster.Start();
+    for (Key k = 1; k <= 100; ++k) {
+      ASSERT_TRUE(cluster.Insert(0, k, k).ok())
+          << ProtocolKindName(protocol);
+    }
+    auto hit = cluster.Search(0, 50);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ(*hit, 50u);
+    testing::ExpectCorrect(cluster);
+  }
+}
+
+TEST(ClusterApi, LargeFanoutShallowTree) {
+  ClusterOptions o = SimOptions(ProtocolKind::kSemiSyncSplit, 4, 23,
+                                /*fanout=*/128);
+  Cluster cluster(o);
+  cluster.Start();
+  for (Key k : RandomKeys(500, 29)) {
+    ASSERT_TRUE(cluster.Insert(k % 4, k, k).ok());
+  }
+  testing::ExpectCorrect(cluster);
+  int32_t max_level = 0;
+  for (auto& [key, snap] : cluster.CollectCopies()) {
+    max_level = std::max(max_level, snap.level);
+  }
+  EXPECT_LE(max_level, 2) << "fanout 128 keeps 500 keys shallow";
+}
+
+// The simulator promise: the seed fully determines the execution — the
+// final distributed state and even the message counts are bit-identical
+// across runs.
+TEST(Determinism, SameSeedSameFinalState) {
+  auto run = [](uint64_t seed) {
+    ClusterOptions o = SimOptions(ProtocolKind::kVarCopies, 5, seed,
+                                  /*fanout=*/4);
+    o.tree.shed_threshold = 4;
+    auto cluster = std::make_unique<Cluster>(o);
+    cluster->Start();
+    Rng rng(seed + 1);
+    for (int i = 0; i < 400; ++i) {
+      cluster->InsertAsync(static_cast<ProcessorId>(i % 5),
+                           rng.Range(1, 1u << 30), i,
+                           [](const OpResult&) {});
+    }
+    cluster->Settle();
+    return cluster;
+  };
+  auto a = run(42);
+  auto b = run(42);
+  auto c = run(43);
+
+  auto copies_a = a->CollectCopies();
+  auto copies_b = b->CollectCopies();
+  ASSERT_EQ(copies_a.size(), copies_b.size());
+  auto it_b = copies_b.begin();
+  for (auto& [key, snap] : copies_a) {
+    EXPECT_EQ(key, it_b->first);
+    EXPECT_EQ(snap.entries, it_b->second.entries);
+    EXPECT_EQ(snap.range, it_b->second.range);
+    EXPECT_EQ(snap.version, it_b->second.version);
+    ++it_b;
+  }
+  auto stats_a = a->NetStats();
+  auto stats_b = b->NetStats();
+  EXPECT_EQ(stats_a.remote_messages, stats_b.remote_messages);
+  EXPECT_EQ(stats_a.remote_bytes, stats_b.remote_bytes);
+  // And a different seed takes a different path.
+  EXPECT_NE(a->NetStats().remote_messages, c->NetStats().remote_messages);
+}
+
+// Upsert mode across every protocol: last writer (at quiescence between
+// writes) wins, duplicates never fail.
+TEST(UpsertMode, OverwritesAcrossProtocols) {
+  for (ProtocolKind protocol :
+       {ProtocolKind::kSemiSyncSplit, ProtocolKind::kSyncSplit,
+        ProtocolKind::kVigorous, ProtocolKind::kMobile,
+        ProtocolKind::kVarCopies}) {
+    ClusterOptions o = SimOptions(protocol, 3, 7);
+    o.tree.upsert = true;
+    Cluster cluster(o);
+    cluster.Start();
+    Oracle oracle(/*upsert=*/true);
+    std::vector<Key> keys = RandomKeys(80, 9);
+    for (int round = 0; round < 3; ++round) {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        Value v = static_cast<Value>(round * 1000 + i);
+        ASSERT_TRUE(cluster.Insert(i % 3, keys[i], v).ok())
+            << ProtocolKindName(protocol);
+        ASSERT_TRUE(oracle.Insert(keys[i], v).ok());
+      }
+    }
+    testing::ExpectMatchesOracle(cluster, oracle);
+    testing::ExpectCorrect(cluster);
+  }
+}
+
+}  // namespace
+}  // namespace lazytree

@@ -1,0 +1,282 @@
+// Transport tests: the paper's network assumption (reliable, exactly-once,
+// per-channel FIFO) on both implementations; sim determinism; piggyback
+// semantics; quiescence detection.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/net/piggyback.h"
+#include "src/net/sim_network.h"
+#include "src/net/thread_network.h"
+
+namespace lazytree {
+namespace {
+
+/// Records every delivered action's (from, key) for order checking.
+class Recorder : public net::Receiver {
+ public:
+  explicit Recorder(net::Network* network = nullptr) : network_(network) {}
+
+  void Deliver(Message m) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Action& a : m.actions) {
+      by_sender_[m.from].push_back(a.key);
+      total_++;
+      if (network_ != nullptr && a.kind == ActionKind::kSearch &&
+          a.key < bounce_limit_) {
+        // Ping-pong: reply with key+1 (exercises reentrant Send).
+        Action reply;
+        reply.kind = ActionKind::kSearch;
+        reply.key = a.key + 1;
+        network_->Send(Message(m.to, m.from, reply));
+      }
+    }
+  }
+
+  std::vector<Key> SenderKeys(ProcessorId from) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_sender_[from];
+  }
+  size_t total() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+  void set_bounce_limit(Key limit) { bounce_limit_ = limit; }
+
+ private:
+  net::Network* network_;
+  Key bounce_limit_ = 0;
+  std::mutex mu_;
+  std::map<ProcessorId, std::vector<Key>> by_sender_;
+  size_t total_ = 0;
+};
+
+Action KeyedAction(Key k) {
+  Action a;
+  a.kind = ActionKind::kSearch;
+  a.key = k;
+  return a;
+}
+
+TEST(SimNetwork, DeliversEverythingExactlyOnce) {
+  net::SimNetwork net(1);
+  Recorder r0, r1;
+  net.Register(0, &r0);
+  net.Register(1, &r1);
+  for (Key k = 0; k < 100; ++k) net.Send(Message(0, 1, KeyedAction(k)));
+  EXPECT_EQ(net.Pending(), 100u);
+  EXPECT_TRUE(net.WaitQuiescent(std::chrono::milliseconds(1000)));
+  EXPECT_EQ(r1.total(), 100u);
+  EXPECT_EQ(r0.total(), 0u);
+  EXPECT_EQ(net.Pending(), 0u);
+}
+
+TEST(SimNetwork, PerChannelFifoDespiteRandomScheduling) {
+  net::SimNetwork net(99);
+  Recorder sinks[3];
+  for (ProcessorId id = 0; id < 3; ++id) net.Register(id, &sinks[id]);
+  // Two senders interleave into one receiver; each sender's order holds.
+  for (Key k = 0; k < 200; ++k) {
+    net.Send(Message(0, 2, KeyedAction(k)));
+    net.Send(Message(1, 2, KeyedAction(1000 + k)));
+  }
+  ASSERT_TRUE(net.WaitQuiescent(std::chrono::milliseconds(1000)));
+  auto from0 = sinks[2].SenderKeys(0);
+  auto from1 = sinks[2].SenderKeys(1);
+  ASSERT_EQ(from0.size(), 200u);
+  ASSERT_EQ(from1.size(), 200u);
+  for (Key k = 0; k < 200; ++k) {
+    EXPECT_EQ(from0[k], k);
+    EXPECT_EQ(from1[k], 1000 + k);
+  }
+}
+
+TEST(SimNetwork, SameSeedSameSchedule) {
+  auto run = [](uint64_t seed) {
+    net::SimNetwork net(seed);
+    Recorder r0(&net), r1(&net);
+    r0.set_bounce_limit(50);
+    r1.set_bounce_limit(50);
+    net.Register(0, &r0);
+    net.Register(1, &r1);
+    net.Send(Message(0, 1, KeyedAction(0)));
+    net.Send(Message(1, 0, KeyedAction(1)));
+    net.WaitQuiescent(std::chrono::milliseconds(1000));
+    return net.delivered();
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST(SimNetwork, StepDeliversOne) {
+  net::SimNetwork net(3);
+  Recorder r0;
+  net.Register(0, &r0);
+  EXPECT_FALSE(net.Step()) << "nothing pending";
+  net.Send(Message(0, 0, KeyedAction(1)));
+  net.Send(Message(0, 0, KeyedAction(2)));
+  EXPECT_TRUE(net.Step());
+  EXPECT_EQ(r0.total(), 1u);
+  EXPECT_TRUE(net.Step());
+  EXPECT_FALSE(net.Step());
+}
+
+TEST(ThreadNetwork, DeliversAcrossThreadsAndQuiesces) {
+  net::ThreadNetwork net;
+  Recorder sinks[4];
+  for (ProcessorId id = 0; id < 4; ++id) net.Register(id, &sinks[id]);
+  net.Start();
+  std::vector<std::thread> senders;
+  for (ProcessorId from = 0; from < 4; ++from) {
+    senders.emplace_back([&net, from] {
+      for (Key k = 0; k < 500; ++k) {
+        net.Send(Message(from, (from + 1) % 4, KeyedAction(k)));
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  EXPECT_TRUE(net.WaitQuiescent(std::chrono::milliseconds(5000)));
+  for (ProcessorId id = 0; id < 4; ++id) {
+    EXPECT_EQ(sinks[id].total(), 500u);
+    auto keys = sinks[id].SenderKeys((id + 3) % 4);
+    ASSERT_EQ(keys.size(), 500u);
+    for (Key k = 0; k < 500; ++k) EXPECT_EQ(keys[k], k) << "FIFO broken";
+  }
+  net.Stop();
+}
+
+TEST(ThreadNetwork, ReentrantSendFromDeliver) {
+  net::ThreadNetwork net;
+  Recorder r0(&net), r1(&net);
+  r0.set_bounce_limit(100);
+  r1.set_bounce_limit(100);
+  net.Register(0, &r0);
+  net.Register(1, &r1);
+  net.Start();
+  net.Send(Message(0, 1, KeyedAction(0)));
+  EXPECT_TRUE(net.WaitQuiescent(std::chrono::milliseconds(5000)));
+  // Keys 0..99 bounce; the final key==100 message is delivered unbounced.
+  EXPECT_EQ(r0.total() + r1.total(), 101u);
+  net.Stop();
+}
+
+TEST(NetworkStats, CountsRemoteLocalAndBytes) {
+  net::SimNetwork net(1);
+  Recorder r0, r1;
+  net.Register(0, &r0);
+  net.Register(1, &r1);
+  net.Send(Message(0, 1, KeyedAction(5)));
+  net.Send(Message(1, 1, KeyedAction(6)));  // self-send = local
+  auto snap = net.stats().Snapshot();
+  EXPECT_EQ(snap.remote_messages, 1u);
+  EXPECT_EQ(snap.local_messages, 1u);
+  EXPECT_GT(snap.remote_bytes, 0u);
+  EXPECT_EQ(snap.ActionCount(ActionKind::kSearch), 2u);
+  auto diff = net.stats().Snapshot() - snap;
+  EXPECT_EQ(diff.remote_messages, 0u);
+}
+
+TEST(SimNetworkLatency, DeliversInTimeOrderAndAdvancesClock) {
+  net::SimNetwork net(1);
+  net.EnableLatency(/*base_us=*/100, /*jitter_us=*/50, /*local_us=*/1);
+  Recorder r0, r1;
+  net.Register(0, &r0);
+  net.Register(1, &r1);
+  for (Key k = 0; k < 50; ++k) net.Send(Message(0, 1, KeyedAction(k)));
+  net.Send(Message(1, 1, KeyedAction(999)));  // local: tiny latency
+  EXPECT_EQ(net.NowUs(), 0u);
+  ASSERT_TRUE(net.Step());
+  // The local message (1µs) beats every remote one (>=100µs).
+  EXPECT_EQ(r1.SenderKeys(1).size(), 1u);
+  EXPECT_GE(net.NowUs(), 1u);
+  EXPECT_LT(net.NowUs(), 100u);
+  ASSERT_TRUE(net.WaitQuiescent(std::chrono::milliseconds(1000)));
+  EXPECT_GE(net.NowUs(), 100u) << "clock advanced past the base latency";
+  // Per-channel FIFO survives the jitter (arrivals are clamped).
+  auto keys = r1.SenderKeys(0);
+  ASSERT_EQ(keys.size(), 50u);
+  for (Key k = 0; k < 50; ++k) EXPECT_EQ(keys[k], k);
+}
+
+TEST(SimNetworkLatency, DeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    net::SimNetwork net(seed);
+    net.EnableLatency(200, 100);
+    Recorder r0, r1;
+    net.Register(0, &r0);
+    net.Register(1, &r1);
+    for (Key k = 0; k < 30; ++k) {
+      net.Send(Message(0, 1, KeyedAction(k)));
+      net.Send(Message(1, 0, KeyedAction(100 + k)));
+    }
+    net.WaitQuiescent(std::chrono::milliseconds(1000));
+    return net.NowUs();
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+Action RelayedAction(Key k) {
+  Action a;
+  a.kind = ActionKind::kRelayedInsert;
+  a.key = k;
+  return a;
+}
+
+TEST(Piggyback, DefersRelaysUntilDirectTraffic) {
+  net::SimNetwork base(1);
+  net::PiggybackNetwork net(&base, /*max_buffered=*/16);
+  Recorder r0, r1;
+  net.Register(0, &r0);
+  net.Register(1, &r1);
+  for (Key k = 0; k < 5; ++k) net.Send(Message(0, 1, RelayedAction(k)));
+  EXPECT_EQ(net.Buffered(), 5u);
+  EXPECT_EQ(base.Pending(), 0u) << "relays buffered, not sent";
+  // A direct message flushes the buffer onto itself, relays first.
+  net.Send(Message(0, 1, KeyedAction(99)));
+  EXPECT_EQ(net.Buffered(), 0u);
+  EXPECT_EQ(base.Pending(), 1u) << "one combined message";
+  ASSERT_TRUE(base.WaitQuiescent(std::chrono::milliseconds(1000)));
+  auto keys = r1.SenderKeys(0);
+  ASSERT_EQ(keys.size(), 6u);
+  for (Key k = 0; k < 5; ++k) EXPECT_EQ(keys[k], k) << "relay order kept";
+  EXPECT_EQ(keys[5], 99u) << "direct action rides last";
+}
+
+TEST(Piggyback, CapForcesStandaloneFlush) {
+  net::SimNetwork base(1);
+  net::PiggybackNetwork net(&base, /*max_buffered=*/4);
+  Recorder r1;
+  Recorder r0;
+  net.Register(0, &r0);
+  net.Register(1, &r1);
+  for (Key k = 0; k < 4; ++k) net.Send(Message(0, 1, RelayedAction(k)));
+  EXPECT_EQ(net.Buffered(), 0u) << "cap reached: flushed";
+  EXPECT_EQ(base.Pending(), 1u);
+}
+
+TEST(Piggyback, WaitQuiescentFlushesBuffers) {
+  net::SimNetwork base(1);
+  net::PiggybackNetwork net(&base, /*max_buffered=*/64);
+  Recorder r0, r1;
+  net.Register(0, &r0);
+  net.Register(1, &r1);
+  for (Key k = 0; k < 10; ++k) net.Send(Message(0, 1, RelayedAction(k)));
+  EXPECT_TRUE(net.WaitQuiescent(std::chrono::milliseconds(1000)));
+  EXPECT_EQ(r1.total(), 10u);
+  EXPECT_EQ(net.Buffered(), 0u);
+}
+
+TEST(Piggyback, ZeroWindowPassesThrough) {
+  net::SimNetwork base(1);
+  net::PiggybackNetwork net(&base, /*max_buffered=*/0);
+  Recorder r0, r1;
+  net.Register(0, &r0);
+  net.Register(1, &r1);
+  net.Send(Message(0, 1, RelayedAction(1)));
+  EXPECT_EQ(base.Pending(), 1u);
+}
+
+}  // namespace
+}  // namespace lazytree

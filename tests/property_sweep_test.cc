@@ -1,0 +1,139 @@
+// Property sweep: randomized mixed workloads (inserts, searches,
+// deletes, scans, migrations, piggybacking) across every protocol and
+// many seeds. Invariants asserted after each round:
+//   * oracle equivalence of the dictionary contents,
+//   * the three §3 history requirements,
+//   * structural soundness of every level,
+//   * every submitted operation completes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace lazytree {
+namespace {
+
+using testing::ExpectCorrect;
+using testing::ExpectMatchesOracle;
+using testing::SimOptions;
+
+struct SweepCase {
+  ProtocolKind protocol;
+  bool piggyback;
+  bool migrations;
+};
+
+class PropertySweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PropertySweepTest, RandomizedMixedWorkloadsHoldInvariants) {
+  const SweepCase& param = GetParam();
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ClusterOptions o = SimOptions(param.protocol, 6, seed, /*fanout=*/5);
+    if (param.piggyback) o.piggyback_window = 8;
+    Cluster cluster(o);
+    cluster.Start();
+    Oracle oracle;
+    Rng rng(seed * 97 + 13);
+    std::vector<Key> settled;  // keys known to be in the tree
+
+    for (int round = 0; round < 3; ++round) {
+      int submitted = 0;
+      int completed = 0;
+      auto count_cb = [&](const OpResult&) { ++completed; };
+
+      // A burst of fresh inserts.
+      std::set<Key> fresh;
+      while (fresh.size() < 120) fresh.insert(rng.Range(1, 1u << 30));
+      for (Key k : fresh) {
+        if (!oracle.Insert(k, k ^ 0xF00D).ok()) continue;
+        ++submitted;
+        cluster.InsertAsync(static_cast<ProcessorId>(rng.Below(6)), k,
+                            k ^ 0xF00D, count_cb);
+      }
+      // Deletes of previously settled keys (no same-key races).
+      for (int d = 0; d < 40 && !settled.empty(); ++d) {
+        size_t pick = rng.Below(settled.size());
+        Key k = settled[pick];
+        settled[pick] = settled.back();
+        settled.pop_back();
+        ASSERT_TRUE(oracle.Delete(k).ok());
+        ++submitted;
+        cluster.DeleteAsync(static_cast<ProcessorId>(rng.Below(6)), k,
+                            count_cb);
+      }
+      // Racing searches and scans (results not asserted mid-race; they
+      // only must complete).
+      for (int s = 0; s < 30; ++s) {
+        ++submitted;
+        if (s % 5 == 0) {
+          cluster.ScanAsync(static_cast<ProcessorId>(rng.Below(6)),
+                            rng.Range(1, 1u << 30), 10, count_cb);
+        } else {
+          cluster.SearchAsync(static_cast<ProcessorId>(rng.Below(6)),
+                              rng.Range(1, 1u << 30), count_cb);
+        }
+      }
+      // Optional migration churn for the mobile family.
+      if (param.migrations) {
+        std::map<NodeId, ProcessorId> hosts;
+        for (ProcessorId id = 0; id < 6; ++id) {
+          cluster.processor(id).store().ForEach([&](const Node& n) {
+            if (n.is_leaf()) hosts[n.id()] = id;
+          });
+        }
+        int moved = 0;
+        for (auto& [id, host] : hosts) {
+          if (moved++ % 3 == 0) {
+            cluster.MigrateNode(id, host,
+                                static_cast<ProcessorId>(rng.Below(6)));
+          }
+        }
+      }
+
+      ASSERT_TRUE(cluster.Settle())
+          << ProtocolKindName(param.protocol) << " seed " << seed;
+      EXPECT_EQ(completed, submitted)
+          << "every operation must complete (round " << round << ")";
+      for (Key k : fresh) settled.push_back(k);
+
+      ExpectMatchesOracle(cluster, oracle);
+      ExpectCorrect(cluster);
+
+      // Spot-check scans against the oracle at quiescence.
+      Key start = rng.Range(1, 1u << 30);
+      auto got = cluster.Scan(static_cast<ProcessorId>(round % 6), start,
+                              25);
+      ASSERT_TRUE(got.ok());
+      std::vector<Entry> want = oracle.Scan(start, 25);
+      ASSERT_EQ(got->size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ((*got)[i].key, want[i].key);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PropertySweepTest,
+    ::testing::Values(
+        SweepCase{ProtocolKind::kSemiSyncSplit, false, false},
+        SweepCase{ProtocolKind::kSemiSyncSplit, true, false},
+        SweepCase{ProtocolKind::kSyncSplit, false, false},
+        SweepCase{ProtocolKind::kSyncSplit, true, false},
+        SweepCase{ProtocolKind::kVigorous, false, false},
+        SweepCase{ProtocolKind::kMobile, false, true},
+        SweepCase{ProtocolKind::kMobile, true, true},
+        SweepCase{ProtocolKind::kVarCopies, false, true},
+        SweepCase{ProtocolKind::kVarCopies, true, true}),
+    [](const ::testing::TestParamInfo<SweepCase>& pinfo) {
+      std::string name = ProtocolKindName(pinfo.param.protocol);
+      if (pinfo.param.piggyback) name += "_piggyback";
+      if (pinfo.param.migrations) name += "_migrations";
+      return name;
+    });
+
+}  // namespace
+}  // namespace lazytree

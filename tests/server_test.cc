@@ -1,0 +1,134 @@
+// Server-runtime unit tests: AAS registry, operation tracker, queue
+// manager routing, processor id allocation and bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "src/net/sim_network.h"
+#include "src/server/aas.h"
+#include "src/server/op_tracker.h"
+#include "src/server/processor.h"
+#include "src/server/queue_manager.h"
+
+namespace lazytree {
+namespace {
+
+NodeId Id(uint32_t seq) { return NodeId::Make(0, seq); }
+
+TEST(AasRegistry, BeginDeferEndRoundTrip) {
+  AasRegistry aas;
+  EXPECT_FALSE(aas.Active(Id(1)));
+  aas.Begin(Id(1));
+  EXPECT_TRUE(aas.Active(Id(1)));
+  EXPECT_FALSE(aas.Active(Id(2)));
+
+  Action a;
+  a.kind = ActionKind::kInsert;
+  a.key = 5;
+  aas.Defer(Id(1), a);
+  a.key = 6;
+  aas.Defer(Id(1), a);
+  EXPECT_EQ(aas.DeferredCount(Id(1)), 2u);
+
+  std::vector<Action> drained = aas.End(Id(1));
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].key, 5u) << "arrival order preserved";
+  EXPECT_EQ(drained[1].key, 6u);
+  EXPECT_FALSE(aas.Active(Id(1)));
+  EXPECT_EQ(aas.DeferredCount(Id(1)), 0u);
+}
+
+TEST(AasRegistry, IndependentNodes) {
+  AasRegistry aas;
+  aas.Begin(Id(1));
+  aas.Begin(Id(2));
+  EXPECT_EQ(aas.ActiveCount(), 2u);
+  EXPECT_TRUE(aas.End(Id(1)).empty());
+  EXPECT_TRUE(aas.Active(Id(2)));
+}
+
+TEST(OpTracker, BeginCompleteLifecycle) {
+  OpTracker tracker(3);
+  OpResult seen;
+  OpId op = tracker.Begin([&](const OpResult& r) { seen = r; });
+  EXPECT_EQ(OpOrigin(op), 3u);
+  EXPECT_EQ(tracker.Outstanding(), 1u);
+
+  OpResult result;
+  result.op = op;
+  result.status = Status::OK();
+  result.value = 99;
+  tracker.Complete(result);
+  EXPECT_EQ(seen.value, 99u);
+  EXPECT_EQ(tracker.Outstanding(), 0u);
+  EXPECT_EQ(tracker.completed(), 1u);
+
+  // Duplicate / unknown completions are ignored, not fatal.
+  tracker.Complete(result);
+  EXPECT_EQ(tracker.completed(), 1u);
+}
+
+TEST(OpTracker, DistinctIdsPerOperation) {
+  OpTracker tracker(1);
+  OpId a = tracker.Begin([](const OpResult&) {});
+  OpId b = tracker.Begin([](const OpResult&) {});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracker.Outstanding(), 2u);
+}
+
+class CountingReceiver : public net::Receiver {
+ public:
+  void Deliver(Message m) override { count += m.actions.size(); }
+  size_t count = 0;
+};
+
+TEST(QueueManager, RoutesLocalAndRemote) {
+  net::SimNetwork net(1);
+  CountingReceiver r0, r1;
+  net.Register(0, &r0);
+  net.Register(1, &r1);
+  QueueManager qm(0, &net);
+  Action a;
+  a.kind = ActionKind::kSearch;
+  qm.SendLocal(a);
+  qm.SendAction(1, a);
+  qm.Broadcast({0, 1}, a);  // skips self
+  ASSERT_TRUE(net.WaitQuiescent(std::chrono::milliseconds(1000)));
+  EXPECT_EQ(r0.count, 1u) << "local + broadcast-skip-self";
+  EXPECT_EQ(r1.count, 2u);
+  auto stats = net.stats().Snapshot();
+  EXPECT_EQ(stats.local_messages, 1u);
+  EXPECT_EQ(stats.remote_messages, 2u);
+}
+
+TEST(Processor, IdAllocatorsAreUniqueAndCreatorTagged) {
+  net::SimNetwork net(1);
+  history::HistoryLog log(false);
+  TreeConfig config;
+  Processor p(0, 1, &net, &log, config);
+  NodeId n1 = p.NewNodeId();
+  NodeId n2 = p.NewNodeId();
+  EXPECT_NE(n1, n2);
+  EXPECT_EQ(n1.creator(), 0u);
+  UpdateId u1 = p.NewUpdateId();
+  UpdateId u2 = p.NewUpdateId();
+  EXPECT_NE(u1, u2);
+}
+
+TEST(Processor, InstallAndRemoveTrackHistory) {
+  net::SimNetwork net(1);
+  history::HistoryLog log(true);
+  TreeConfig config;
+  Processor p(0, 1, &net, &log, config);
+  auto node = std::make_unique<Node>(Id(5), 0, KeyRange{}, true);
+  node->NoteApplied(77);
+  p.InstallNode(std::move(node));
+  auto copies = log.Copies();
+  ASSERT_EQ(copies.size(), 1u);
+  EXPECT_EQ(copies.begin()->second.inherited.size(), 1u);
+  EXPECT_TRUE(copies.begin()->second.live);
+  p.RemoveNode(Id(5));
+  EXPECT_FALSE(log.Copies().begin()->second.live);
+}
+
+}  // namespace
+}  // namespace lazytree

@@ -1,0 +1,69 @@
+// Shared helpers for the lazytree test suites.
+
+#ifndef LAZYTREE_TESTS_TEST_UTIL_H_
+#define LAZYTREE_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/oracle/oracle.h"
+#include "src/util/rng.h"
+
+namespace lazytree {
+namespace testing {
+
+/// Default small-fanout options so trees get deep quickly in tests.
+inline ClusterOptions SimOptions(ProtocolKind protocol, uint32_t processors,
+                                 uint64_t seed, size_t fanout = 6) {
+  ClusterOptions o;
+  o.processors = processors;
+  o.protocol = protocol;
+  o.transport = TransportKind::kSim;
+  o.seed = seed;
+  o.tree.max_entries = fanout;
+  o.tree.track_history = true;
+  return o;
+}
+
+/// Asserts all three §3 history requirements plus structural sanity.
+inline void ExpectCorrect(Cluster& cluster) {
+  auto report = cluster.VerifyHistories();
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  auto structure = cluster.CheckTreeStructure();
+  EXPECT_TRUE(structure.empty())
+      << structure.size() << " structural violations, first: "
+      << structure.front();
+}
+
+/// Asserts the distributed tree's dictionary equals the oracle's.
+inline void ExpectMatchesOracle(Cluster& cluster, const Oracle& oracle) {
+  std::vector<Entry> got = cluster.DumpLeaves();
+  std::vector<Entry> want = oracle.Dump();
+  ASSERT_EQ(got.size(), want.size())
+      << "tree holds " << got.size() << " keys, oracle " << want.size();
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, want[i].key) << "at index " << i;
+    EXPECT_EQ(got[i].payload, want[i].payload)
+        << "value mismatch for key " << got[i].key;
+  }
+}
+
+/// Deterministic pseudo-random distinct keys (avoids 0 and infinity).
+inline std::vector<Key> RandomKeys(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Key> keys;
+  keys.reserve(count);
+  std::set<Key> seen;
+  while (keys.size() < count) {
+    Key k = rng.Range(1, 1u << 30);
+    if (seen.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+}  // namespace testing
+}  // namespace lazytree
+
+#endif  // LAZYTREE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,174 @@
+// End-to-end runs on the thread-backed transport: genuine parallelism,
+// multiple client threads, all protocols, history checks at quiescence.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace lazytree {
+namespace {
+
+using testing::ExpectCorrect;
+using testing::ExpectMatchesOracle;
+using testing::RandomKeys;
+
+ClusterOptions ThreadOptions(ProtocolKind protocol, uint32_t processors) {
+  ClusterOptions o;
+  o.processors = processors;
+  o.protocol = protocol;
+  o.transport = TransportKind::kThreads;
+  o.tree.max_entries = 16;
+  o.tree.track_history = true;
+  return o;
+}
+
+class ThreadedProtocolTest
+    : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ThreadedProtocolTest, ParallelClientsConverge) {
+  Cluster cluster(ThreadOptions(GetParam(), 6));
+  cluster.Start();
+  Oracle oracle;
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 1500;
+  std::vector<Key> keys = RandomKeys(kClients * kPerClient, 77);
+  for (Key k : keys) ASSERT_TRUE(oracle.Insert(k, k + 3).ok());
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        Key k = keys[c * kPerClient + i];
+        Status s = cluster.Insert(static_cast<ProcessorId>(c % 6), k,
+                                  k + 3);
+        if (!s.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(cluster.Settle());
+  ExpectMatchesOracle(cluster, oracle);
+  ExpectCorrect(cluster);
+
+  // Parallel readers next: every key visible from every processor.
+  std::vector<std::thread> readers;
+  std::atomic<int> misses{0};
+  for (int c = 0; c < kClients; ++c) {
+    readers.emplace_back([&, c] {
+      for (int i = c; i < kClients * kPerClient; i += kClients * 7) {
+        auto r = cluster.Search(static_cast<ProcessorId>(i % 6), keys[i]);
+        if (!r.ok() || *r != keys[i] + 3) misses.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(misses.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ThreadedProtocolTest,
+    ::testing::Values(ProtocolKind::kSemiSyncSplit, ProtocolKind::kSyncSplit,
+                      ProtocolKind::kVigorous, ProtocolKind::kMobile,
+                      ProtocolKind::kVarCopies),
+    [](const ::testing::TestParamInfo<ProtocolKind>& pinfo) {
+      return std::string(ProtocolKindName(pinfo.param));
+    });
+
+TEST(ThreadTransport, PiggybackedClusterStaysCorrect) {
+  ClusterOptions o = ThreadOptions(ProtocolKind::kSemiSyncSplit, 5);
+  o.piggyback_window = 16;
+  Cluster cluster(o);
+  cluster.Start();
+  Oracle oracle;
+  std::vector<Key> keys = RandomKeys(4000, 11);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < keys.size(); i += 4) {
+        cluster.Insert(static_cast<ProcessorId>(i % 5), keys[i], 1);
+      }
+    });
+  }
+  for (Key k : keys) ASSERT_TRUE(oracle.Insert(k, 1).ok());
+  for (auto& t : clients) t.join();
+  ASSERT_TRUE(cluster.Settle());
+  ExpectMatchesOracle(cluster, oracle);
+  ExpectCorrect(cluster);
+  EXPECT_GT(cluster.history_log().RecordCount(), 0u);
+}
+
+TEST(ThreadTransport, DeletesAndScansFromParallelClients) {
+  Cluster cluster(ThreadOptions(ProtocolKind::kVarCopies, 4));
+  cluster.Start();
+  Oracle oracle;
+  std::vector<Key> keys = RandomKeys(4000, 21);
+  for (Key k : keys) ASSERT_TRUE(oracle.Insert(k, k).ok());
+  std::vector<std::thread> writers;
+  for (int c = 0; c < 4; ++c) {
+    writers.emplace_back([&, c] {
+      for (size_t i = c; i < keys.size(); i += 4) {
+        cluster.Insert(static_cast<ProcessorId>(c), keys[i], keys[i]);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  ASSERT_TRUE(cluster.Settle());
+  // Parallel deleters remove disjoint slices while scanners read.
+  std::atomic<int> scan_failures{0};
+  std::vector<std::thread> workers;
+  for (int c = 0; c < 2; ++c) {
+    workers.emplace_back([&, c] {
+      for (size_t i = c; i < keys.size() / 2; i += 2) {
+        cluster.Delete(static_cast<ProcessorId>(c), keys[i]);
+      }
+    });
+  }
+  for (int c = 2; c < 4; ++c) {
+    workers.emplace_back([&, c] {
+      Rng rng(77 + c);
+      for (int i = 0; i < 200; ++i) {
+        auto r = cluster.Scan(static_cast<ProcessorId>(c),
+                              rng.Range(1, 1u << 30), 20);
+        if (!r.ok()) scan_failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (size_t i = 0; i < keys.size() / 2; ++i) {
+    ASSERT_TRUE(oracle.Delete(keys[i]).ok());
+  }
+  EXPECT_EQ(scan_failures.load(), 0);
+  ASSERT_TRUE(cluster.Settle());
+  ExpectMatchesOracle(cluster, oracle);
+  ExpectCorrect(cluster);
+}
+
+TEST(ThreadTransport, MobileMigrationsRaceRealThreads) {
+  ClusterOptions o = ThreadOptions(ProtocolKind::kMobile, 4);
+  o.tree.shed_threshold = 6;  // online shedding during the run
+  Cluster cluster(o);
+  cluster.Start();
+  Oracle oracle;
+  std::vector<Key> keys = RandomKeys(5000, 13);
+  for (Key k : keys) ASSERT_TRUE(oracle.Insert(k, 2).ok());
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < keys.size(); i += 4) {
+        cluster.Insert(static_cast<ProcessorId>(c), keys[i], 2);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_TRUE(cluster.Settle());
+  ExpectMatchesOracle(cluster, oracle);
+  ExpectCorrect(cluster);
+}
+
+}  // namespace
+}  // namespace lazytree

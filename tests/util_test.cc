@@ -1,0 +1,226 @@
+// Unit tests for the utility kit: Status/StatusOr, Rng, Histogram,
+// BlockingQueue, WaitGroup.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/util/statusor.h"
+#include "src/util/threading.h"
+
+namespace lazytree {
+namespace {
+
+TEST(Status, OkIsDefaultAndCheap) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.ToString(), "not_found: key 42");
+}
+
+TEST(Status, CopyingSharesRepresentation) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Status, AllConstructorsMapToCodes) {
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::InvalidArgument("").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::TimedOut("").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(Status::Aborted("").code(), StatusCode::kAborted);
+}
+
+TEST(StatusOr, ValueAndErrorPaths) {
+  StatusOr<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  EXPECT_EQ(good.value_or(9), 7);
+
+  StatusOr<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(StatusOr, MoveOnlyValues) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(3));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 3);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff_seed_equal = true;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t x = a.Next(), y = b.Next(), z = c.Next();
+    all_equal &= (x == y);
+    any_diff_seed_equal &= (x == z);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_FALSE(any_diff_seed_equal);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Range(10, 13));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 13u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_NEAR(h.P50(), 50, 6);
+  EXPECT_NEAR(h.P99(), 99, 6);
+}
+
+TEST(Histogram, MergeAndReset) {
+  Histogram a, b;
+  for (int i = 0; i < 50; ++i) a.Record(10);
+  for (int i = 0; i < 50; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.Percentile(50), 0.0);
+}
+
+TEST(Histogram, SmallValuePercentilesAreSane) {
+  // Regression: values in [0, 4] straddle the exact-bucket / log-bucket
+  // boundary; percentiles must stay within [min, max].
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(3);
+  for (int i = 0; i < 100; ++i) h.Record(4);
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, 3.0) << "p" << p;
+    EXPECT_LE(v, 4.0) << "p" << p;
+  }
+  Histogram zeros;
+  zeros.Record(0);
+  zeros.Record(0);
+  EXPECT_EQ(zeros.Percentile(50), 0.0);
+}
+
+TEST(Histogram, LargeValues) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1ull << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), 1ull << 62);
+  EXPECT_FALSE(h.Summary().empty());
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BlockingQueue, CloseWakesAndDrains) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2)) << "closed queue rejects pushes";
+  EXPECT_EQ(q.Pop().value(), 1) << "drains remaining items";
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueue, CrossThreadHandoff) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) q.Push(i);
+    q.Close();
+  });
+  int expected = 0;
+  while (auto v = q.Pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  EXPECT_EQ(expected, 1000);
+  producer.join();
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  auto v = q.PopFor(std::chrono::milliseconds(10));
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(WaitGroup, WaitsForAllDone) {
+  WaitGroup wg;
+  wg.Add(3);
+  std::thread t([&] {
+    wg.Done();
+    wg.Done();
+    wg.Done();
+  });
+  wg.Wait();
+  EXPECT_EQ(wg.Count(), 0);
+  t.join();
+}
+
+TEST(WaitGroup, WaitForTimesOutWhenPending) {
+  WaitGroup wg;
+  wg.Add(1);
+  EXPECT_FALSE(wg.WaitFor(std::chrono::milliseconds(10)));
+  wg.Done();
+  EXPECT_TRUE(wg.WaitFor(std::chrono::milliseconds(10)));
+}
+
+}  // namespace
+}  // namespace lazytree

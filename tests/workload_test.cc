@@ -1,0 +1,148 @@
+// Workload-generator unit tests: distribution shapes and mix ratios.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/workload/generator.h"
+
+namespace lazytree {
+namespace {
+
+using workload::GenOp;
+using workload::Generator;
+using workload::HotspotDist;
+using workload::MakeDistribution;
+using workload::OpMix;
+using workload::SequentialDist;
+using workload::UniformDist;
+using workload::ZipfianDist;
+
+TEST(Distributions, UniformCoversTheSpace) {
+  UniformDist dist(1000);
+  Rng rng(1);
+  std::set<Key> seen;
+  for (int i = 0; i < 20000; ++i) {
+    Key k = dist.Next(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LT(k, 1000u);
+    seen.insert(k);
+  }
+  EXPECT_GT(seen.size(), 950u) << "uniform should touch nearly all keys";
+}
+
+TEST(Distributions, SequentialIsStrictlyIncreasing) {
+  SequentialDist dist(10, 3);
+  Rng rng(1);
+  Key prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    Key k = dist.Next(rng);
+    EXPECT_GT(k, prev);
+    prev = k;
+  }
+  EXPECT_EQ(prev, 10u + 99u * 3u);
+}
+
+TEST(Distributions, ZipfianIsHeavilySkewed) {
+  ZipfianDist dist(10000, 1u << 30, 0.99);
+  Rng rng(7);
+  std::map<Key, int> counts;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) ++counts[dist.Next(rng)];
+  // The most popular key should dwarf the uniform expectation and the
+  // top handful should carry a large share of the traffic.
+  int max_count = 0;
+  std::vector<int> all;
+  for (auto& [k, c] : counts) {
+    max_count = std::max(max_count, c);
+    all.push_back(c);
+  }
+  EXPECT_GT(max_count, kSamples / 100)
+      << "rank-1 of a 0.99-zipfian carries >1% of traffic";
+  std::sort(all.rbegin(), all.rend());
+  int top10 = 0;
+  for (size_t i = 0; i < 10 && i < all.size(); ++i) top10 += all[i];
+  EXPECT_GT(top10, kSamples / 4) << "top-10 keys carry >25%";
+}
+
+TEST(Distributions, HotspotRespectsRatios) {
+  HotspotDist dist(100000, /*hot_fraction=*/0.05, /*hot_ops=*/0.9);
+  Rng rng(3);
+  int hot = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.Next(rng) <= 5000) ++hot;
+  }
+  // 90% targeted + ~5% of the cold traffic falls in the hot span too.
+  EXPECT_NEAR(static_cast<double>(hot) / kSamples, 0.9 + 0.1 * 0.05, 0.02);
+}
+
+TEST(Distributions, FactoryByName) {
+  for (const char* name : {"uniform", "sequential", "zipfian", "hotspot"}) {
+    auto dist = MakeDistribution(name, 1u << 20);
+    ASSERT_NE(dist, nullptr);
+    EXPECT_STREQ(dist->name(), name);
+    Rng rng(1);
+    EXPECT_GE(dist->Next(rng), 1u);
+  }
+}
+
+TEST(Generator, MixRatiosApproximatelyHold) {
+  OpMix mix;
+  mix.insert = 0.4;
+  mix.search = 0.4;
+  mix.erase = 0.15;
+  mix.scan = 0.05;
+  Generator gen(mix, std::make_unique<UniformDist>(1u << 20), 11);
+  std::map<GenOp::Type, int> counts;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) ++counts[gen.Next().type];
+  EXPECT_NEAR(counts[GenOp::Type::kInsert] / double(kOps), 0.4, 0.02);
+  EXPECT_NEAR(counts[GenOp::Type::kSearch] / double(kOps), 0.4, 0.02);
+  EXPECT_NEAR(counts[GenOp::Type::kDelete] / double(kOps), 0.15, 0.02);
+  EXPECT_NEAR(counts[GenOp::Type::kScan] / double(kOps), 0.05, 0.01);
+}
+
+TEST(Generator, DeletesTargetPreviouslyInsertedKeysOnce) {
+  OpMix mix;
+  mix.insert = 0.5;
+  mix.search = 0;
+  mix.erase = 0.5;
+  Generator gen(mix, std::make_unique<UniformDist>(1u << 30), 13);
+  std::multiset<Key> inserted;
+  std::multiset<Key> deleted;
+  for (int i = 0; i < 5000; ++i) {
+    GenOp op = gen.Next();
+    if (op.type == GenOp::Type::kInsert) inserted.insert(op.key);
+    if (op.type == GenOp::Type::kDelete) deleted.insert(op.key);
+  }
+  for (Key k : deleted) {
+    EXPECT_GT(inserted.count(k), 0u) << "delete of never-inserted key";
+    EXPECT_LE(deleted.count(k), inserted.count(k));
+  }
+}
+
+TEST(Generator, DeleteWithNoLiveKeysBecomesSearch) {
+  OpMix mix;
+  mix.insert = 0;
+  mix.search = 0;
+  mix.erase = 1;
+  Generator gen(mix, std::make_unique<UniformDist>(100), 17);
+  EXPECT_EQ(gen.Next().type, GenOp::Type::kSearch);
+}
+
+TEST(Generator, ReproducibleBySeed) {
+  auto run = [](uint64_t seed) {
+    OpMix mix;
+    Generator gen(mix, std::make_unique<UniformDist>(1u << 20), seed);
+    std::vector<Key> keys;
+    for (int i = 0; i < 100; ++i) keys.push_back(gen.Next().key);
+    return keys;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace lazytree
