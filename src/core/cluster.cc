@@ -280,6 +280,35 @@ bool Cluster::Settle(std::chrono::milliseconds timeout) {
   return network_->WaitQuiescent(timeout);
 }
 
+void Cluster::CrashProcessor(ProcessorId p) {
+  LAZYTREE_CHECK(sim_ != nullptr) << "crash injection needs the sim transport";
+  LAZYTREE_CHECK(p < options_.processors) << "crash of unknown p" << p;
+  if (sim_->IsCrashed(p)) return;
+  sim_->Crash(p);  // drop inbound first, then lose the volatile state
+  processors_[p]->Crash();
+}
+
+void Cluster::RestartProcessor(ProcessorId p) {
+  LAZYTREE_CHECK(sim_ != nullptr) << "crash injection needs the sim transport";
+  LAZYTREE_CHECK(p < options_.processors) << "restart of unknown p" << p;
+  if (!sim_->IsCrashed(p)) return;
+  // Learn the highest root any live peer knows — the restarted processor
+  // rejoins the tree by asking a neighbor, like a fresh client would.
+  NodeId hint = kInvalidNode;
+  int32_t hint_level = -1;
+  for (auto& peer : processors_) {
+    if (peer->crashed() || peer->id() == p) continue;
+    if (peer->store().root_level() > hint_level &&
+        peer->store().root_hint().valid()) {
+      hint = peer->store().root_hint();
+      hint_level = peer->store().root_level();
+    }
+  }
+  processors_[p]->Restart(MakeHandler(options_.protocol, *processors_[p]),
+                          hint, hint_level);
+  sim_->Restart(p);
+}
+
 std::map<history::CopyKey, NodeSnapshot> Cluster::CollectCopies() {
   std::map<history::CopyKey, NodeSnapshot> copies;
   for (auto& p : processors_) {

@@ -70,6 +70,20 @@ class Cluster {
   bool Settle(std::chrono::milliseconds timeout =
                   std::chrono::milliseconds(30000));
 
+  // --- crash/restart injection (sim transport only) ---
+
+  /// Fail-stop crash of processor `p`: the network drops its inbound
+  /// messages until RestartProcessor, its local copies die (recorded with
+  /// the history log), and its outstanding client operations fail
+  /// Unavailable. Idempotent while crashed.
+  void CrashProcessor(ProcessorId p);
+
+  /// Restarts a crashed processor with a fresh protocol handler and a
+  /// root hint learned from a live peer (rejoin-by-asking-a-neighbor).
+  /// No-op when `p` is not crashed — a minimized schedule may have had
+  /// its crash event removed while the restart survived.
+  void RestartProcessor(ProcessorId p);
+
   // --- whole-tree inspection (call only at quiescence) ---
 
   /// Final value of every live copy, for CheckCompatible.

@@ -20,10 +20,32 @@ ProcessorId SimNetwork::size() const {
 void SimNetwork::EnableLatency(uint64_t base_us, uint64_t jitter_us,
                                uint64_t local_us) {
   LAZYTREE_CHECK(pending_ == 0) << "EnableLatency before any Send";
+  LAZYTREE_CHECK(strategy_ == nullptr)
+      << "latency mode and schedule strategies are mutually exclusive";
   latency_mode_ = true;
   base_us_ = base_us;
   jitter_us_ = jitter_us;
   local_us_ = local_us;
+}
+
+void SimNetwork::SetStrategy(ScheduleStrategy* strategy) {
+  LAZYTREE_CHECK(!latency_mode_)
+      << "latency mode and schedule strategies are mutually exclusive";
+  strategy_ = strategy;
+}
+
+void SimNetwork::Crash(ProcessorId p) {
+  LAZYTREE_CHECK(p < receivers_.size()) << "crash of unregistered p" << p;
+  if (crashed_.size() <= p) crashed_.resize(p + 1, false);
+  if (crashed_[p]) return;
+  crashed_[p] = true;
+  if (observer_ != nullptr) observer_->OnCrash(p);
+}
+
+void SimNetwork::Restart(ProcessorId p) {
+  if (!IsCrashed(p)) return;
+  crashed_[p] = false;
+  if (observer_ != nullptr) observer_->OnRestart(p);
 }
 
 void SimNetwork::Send(Message m) {
@@ -75,17 +97,59 @@ bool SimNetwork::Step() {
     if (!ch.Empty()) nonempty_.push_back(key);
   }
   LAZYTREE_CHECK(!nonempty_.empty()) << "pending_ out of sync";
-  const auto& pick = nonempty_[rng_.Below(nonempty_.size())];
+  size_t index;
+  if (strategy_ != nullptr) {
+    views_.clear();
+    for (const auto& [from, to] : nonempty_) {
+      views_.push_back(ChannelView{from, to, channels_[{from, to}].Size()});
+    }
+    index = strategy_->PickChannel(views_);
+    LAZYTREE_CHECK(index < nonempty_.size())
+        << "strategy picked channel " << index << " of "
+        << nonempty_.size();
+  } else {
+    index = rng_.Below(nonempty_.size());
+  }
+  const auto& pick = nonempty_[index];
   std::vector<uint8_t> encoded = channels_[pick].Pop();
   --pending_;
-  if (drop_prob_ > 0 && rng_.Chance(drop_prob_)) {
+
+  // Resolve the message's fate: a crashed destination always drops; a
+  // strategy may force an outcome (trace replay); otherwise the network's
+  // own fault randomness applies. The rng_ consumption order below is
+  // exactly the pre-strategy behavior, so legacy seeds replay unchanged.
+  DeliveryOutcome outcome = DeliveryOutcome::kDeliver;
+  std::optional<DeliveryOutcome> forced =
+      strategy_ != nullptr ? strategy_->ForceOutcome() : std::nullopt;
+  if (IsCrashed(pick.second)) {
+    outcome = DeliveryOutcome::kCrashDrop;
+  } else if (forced.has_value() && *forced != DeliveryOutcome::kCrashDrop) {
+    outcome = *forced;
+  } else if (drop_prob_ > 0 && rng_.Chance(drop_prob_)) {
+    outcome = DeliveryOutcome::kDrop;
+  }
+  if (observer_ != nullptr && outcome != DeliveryOutcome::kDeliver) {
+    observer_->OnDelivery(pick.first, pick.second, outcome);
+  }
+  if (outcome == DeliveryOutcome::kCrashDrop) {
+    ++crash_dropped_;
+    return true;
+  }
+  if (outcome == DeliveryOutcome::kDrop) {
     ++dropped_;  // injected fault: the message vanishes
     return true;
   }
   auto decoded = wire::DecodeMessage(encoded);
   LAZYTREE_CHECK(decoded.ok()) << "wire corruption: "
                                << decoded.status().ToString();
-  const bool dup = dup_prob_ > 0 && rng_.Chance(dup_prob_);
+  const bool dup = forced.has_value()
+                       ? outcome == DeliveryOutcome::kDuplicate
+                       : dup_prob_ > 0 && rng_.Chance(dup_prob_);
+  if (observer_ != nullptr && outcome == DeliveryOutcome::kDeliver) {
+    observer_->OnDelivery(pick.first, pick.second,
+                          dup ? DeliveryOutcome::kDuplicate
+                              : DeliveryOutcome::kDeliver);
+  }
   ++delivered_;
   in_step_ = true;
   receivers_[pick.second]->Deliver(*decoded);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/net/channel.h"
+#include "src/net/schedule_hook.h"
 #include "src/net/transport.h"
 #include "src/util/rng.h"
 
@@ -48,9 +49,28 @@ class SimNetwork : public Network {
   /// number of deliveries (defensive against livelock bugs), not wall time.
   bool WaitQuiescent(std::chrono::milliseconds timeout) override;
 
-  /// Delivers exactly one message (random non-empty channel).
-  /// Returns false when nothing is pending.
+  /// Delivers exactly one message (random non-empty channel, or the
+  /// installed strategy's pick). Returns false when nothing is pending.
   bool Step();
+
+  /// Installs a delivery strategy (non-owning; nullptr restores the
+  /// uniform-random default). Queue mode only — the timestamped (latency)
+  /// mode orders deliveries by arrival time, not by adversarial choice.
+  void SetStrategy(ScheduleStrategy* strategy);
+
+  /// Installs an observer notified of every delivery/crash decision in
+  /// execution order (non-owning; nullptr detaches).
+  void SetObserver(DeliveryObserver* observer) { observer_ = observer; }
+
+  /// Crash injection: while crashed, every message delivered to `p` is
+  /// dropped (fail-stop — the processor's volatile state is handled by
+  /// Cluster::CrashProcessor). Idempotent.
+  void Crash(ProcessorId p);
+  void Restart(ProcessorId p);
+  bool IsCrashed(ProcessorId p) const {
+    return p < crashed_.size() && crashed_[p];
+  }
+  uint64_t crash_dropped() const { return crash_dropped_; }
 
   /// Fault injection — deliberately violates the §4 network assumption
   /// (reliable, exactly-once) so tests can demonstrate that the lazy
@@ -76,6 +96,11 @@ class SimNetwork : public Network {
   // iteration order deterministic.
   std::map<std::pair<ProcessorId, ProcessorId>, Channel> channels_;
   std::vector<std::pair<ProcessorId, ProcessorId>> nonempty_;  // scratch
+  std::vector<ChannelView> views_;                             // scratch
+  ScheduleStrategy* strategy_ = nullptr;
+  DeliveryObserver* observer_ = nullptr;
+  std::vector<bool> crashed_;
+  uint64_t crash_dropped_ = 0;
   size_t pending_ = 0;
   uint64_t delivered_ = 0;
   bool in_step_ = false;

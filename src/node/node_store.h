@@ -53,6 +53,16 @@ class NodeStore {
 
   size_t size() const { return nodes_.size(); }
 
+  /// Drops every copy, forwarding address, and the root hint — a crashed
+  /// processor's volatile state. The caller is responsible for recording
+  /// the copy deaths with the history log first (Processor::Crash does).
+  void Reset() {
+    nodes_.clear();
+    forwarding_.clear();
+    root_hint_ = kInvalidNode;
+    root_level_ = -1;
+  }
+
   /// Iteration for snapshot collection at quiescence.
   template <typename Fn>
   void ForEach(Fn&& fn) const {

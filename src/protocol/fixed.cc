@@ -40,6 +40,28 @@ ProcessorId FixedCopiesProtocol::ResolveDest(NodeId id, int32_t level) {
   return copies[rng_.Below(copies.size())];
 }
 
+void FixedCopiesProtocol::HandleMissing(Action a) {
+  constexpr uint32_t kReRouteHopCap = 64;
+  const bool client_path =
+      a.kind == ActionKind::kSearch || a.kind == ActionKind::kInsertOp ||
+      a.kind == ActionKind::kDeleteOp || a.kind == ActionKind::kScanOp ||
+      a.kind == ActionKind::kInsert || a.kind == ActionKind::kDelete;
+  if (p_.crash_epoch() > 0 && client_path && a.level >= 0 &&
+      a.hops < kReRouteHopCap) {
+    std::vector<ProcessorId> copies = PlaceNewNode(a.target, a.level);
+    for (size_t i = 0; i < copies.size(); ++i) {
+      if (copies[i] != p_.id()) continue;
+      // Deterministic rotation to the next replica in the fixed set.
+      ProcessorId next = copies[(i + 1) % copies.size()];
+      if (next == p_.id()) break;  // single copy: nobody else to ask
+      ++a.hops;
+      p_.out().SendAction(next, std::move(a));
+      return;
+    }
+  }
+  BaseProtocol::HandleMissing(std::move(a));
+}
+
 void FixedCopiesProtocol::HandleInitialInsert(Action a) {
   Node* n = Local(a.target);
   if (n == nullptr) {

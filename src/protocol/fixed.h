@@ -36,6 +36,15 @@ class FixedCopiesProtocol : public BaseProtocol {
 
   ProcessorId ResolveDest(NodeId id, int32_t level) override;
 
+  /// Crash hardening: normally a missing target means our kCreateNode is
+  /// still in flight, so the action parks (base behavior). After this
+  /// processor has crashed, its copies are simply gone — client-path
+  /// actions re-route to another fixed replica instead of parking
+  /// forever; relays still park (they are per-copy and a crashed copy is
+  /// dead). A hop cap keeps adversarial schedules from bouncing an action
+  /// between restarted replicas indefinitely.
+  void HandleMissing(Action a) override;
+
   void HandleInitialInsert(Action a) override;
   void HandleRelayedInsert(Action a) override;
   void HandleInitialDelete(Action a) override;

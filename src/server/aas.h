@@ -35,6 +35,10 @@ class AasRegistry {
   size_t DeferredCount(NodeId node) const;
   size_t ActiveCount() const { return active_.size(); }
 
+  /// Abandons every active AAS and its deferred actions (crash injection:
+  /// the state was volatile).
+  void Reset() { active_.clear(); }
+
  private:
   std::unordered_map<NodeId, std::vector<Action>> active_;
 };

@@ -1,5 +1,7 @@
 #include "src/server/op_tracker.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 
 namespace lazytree {
@@ -25,6 +27,29 @@ void OpTracker::Complete(const OpResult& result) {
     ++completed_;
   }
   if (callback) callback(result);
+}
+
+size_t OpTracker::FailAllPending(const Status& status) {
+  // Deterministic failure order: sort by op id (the map is unordered).
+  std::vector<std::pair<OpId, OpCallback>> failed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    failed.reserve(pending_.size());
+    for (auto& [id, callback] : pending_) {
+      failed.emplace_back(id, std::move(callback));
+    }
+    pending_.clear();
+    completed_ += failed.size();
+  }
+  std::sort(failed.begin(), failed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [id, callback] : failed) {
+    OpResult result;
+    result.op = id;
+    result.status = status;
+    if (callback) callback(result);
+  }
+  return failed.size();
 }
 
 size_t OpTracker::Outstanding() const {

@@ -41,6 +41,10 @@ class OpTracker {
   /// tests catch via the completion counter).
   void Complete(const OpResult& result);
 
+  /// Fails every outstanding operation with `status` (crash injection:
+  /// the client sees its server die). Returns how many were failed.
+  size_t FailAllPending(const Status& status);
+
   size_t Outstanding() const;
   uint64_t completed() const { return completed_; }
 

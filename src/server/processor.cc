@@ -22,6 +22,7 @@ void Processor::SetHandler(std::unique_ptr<ProtocolHandler> handler) {
 }
 
 void Processor::Deliver(Message m) {
+  if (crashed_) return;  // defensive; the sim network drops these already
   for (Action& action : m.actions) {
     actions_handled_.fetch_add(1, std::memory_order_relaxed);
     if (action.kind == ActionKind::kReturnValue) {
@@ -65,6 +66,32 @@ void Processor::RemoveNode(NodeId node, ProcessorId forward_to) {
     history_->OnCopyDeleted(node, id_);
   }
   store_.Remove(node, forward_to);
+}
+
+void Processor::Crash() {
+  LAZYTREE_CHECK(!crashed_) << "p" << id_ << " crashed twice";
+  crashed_ = true;
+  ++crash_epoch_;
+  // Volatile memory is gone: every local copy dies (the history log keeps
+  // their records — a deleted copy is "conceptually retained", §3.1).
+  std::vector<NodeId> ids;
+  store_.ForEach([&](const Node& node) { ids.push_back(node.id()); });
+  for (NodeId id : ids) RemoveNode(id);
+  store_.Reset();
+  aas_.Reset();
+  handler_.reset();  // parked actions and protocol state are volatile too
+  ops_.FailAllPending(Status::Unavailable("processor crashed"));
+}
+
+void Processor::Restart(std::unique_ptr<ProtocolHandler> handler,
+                        NodeId root_hint, int32_t root_level) {
+  LAZYTREE_CHECK(crashed_) << "restart of live p" << id_;
+  // Operations submitted while the processor was down never made it into
+  // the tree (their self-send was dropped): fail them now.
+  ops_.FailAllPending(Status::Unavailable("processor was down"));
+  handler_ = std::move(handler);
+  if (root_hint.valid()) store_.SetRootHint(root_hint, root_level);
+  crashed_ = false;
 }
 
 OpId Processor::SubmitSearch(Key key, OpCallback callback) {

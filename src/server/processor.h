@@ -87,6 +87,29 @@ class Processor : public net::Receiver {
   /// Removes a local copy, recording its death in the history log.
   void RemoveNode(NodeId node, ProcessorId forward_to = kInvalidProcessor);
 
+  // --- crash injection (sim transport; driven by Cluster) ---
+
+  /// Fail-stop crash: every volatile structure is lost — node copies
+  /// (their deaths are recorded with the history log), forwarding
+  /// addresses, the root hint, parked/deferred actions, and the protocol
+  /// handler's state. Outstanding client operations fail Unavailable.
+  /// The network must already be dropping this processor's inbound
+  /// messages (SimNetwork::Crash).
+  void Crash();
+
+  /// Brings the processor back with a fresh protocol handler and (when
+  /// valid) a root hint learned from a live peer. Operations submitted
+  /// while the processor was down fail Unavailable now.
+  void Restart(std::unique_ptr<ProtocolHandler> handler, NodeId root_hint,
+               int32_t root_level);
+
+  bool crashed() const { return crashed_; }
+
+  /// Number of crashes survived so far. Protocol code uses `> 0` to know
+  /// this processor may legitimately lack copies it is the designated
+  /// home of (fixed placement) and should re-route instead of parking.
+  uint32_t crash_epoch() const { return crash_epoch_; }
+
   // --- client API (any thread) ---
   OpId SubmitSearch(Key key, OpCallback callback);
   OpId SubmitInsert(Key key, Value value, OpCallback callback);
@@ -115,6 +138,8 @@ class Processor : public net::Receiver {
   uint32_t next_node_seq_ = 1;
   uint32_t next_update_seq_ = 1;
   std::atomic<uint64_t> actions_handled_{0};
+  bool crashed_ = false;
+  uint32_t crash_epoch_ = 0;
 };
 
 }  // namespace lazytree

@@ -1,0 +1,431 @@
+#include "src/sim/explorer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/core/cluster.h"
+#include "src/oracle/oracle.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace lazytree::sim {
+
+namespace {
+
+enum class OpKind : uint8_t { kInsert, kDelete, kSearch };
+
+struct WorkOp {
+  OpKind kind;
+  Key key;
+  ProcessorId home;
+};
+
+/// Every insert of key k writes the same value, so presence checks never
+/// need to know which insert won.
+Value ValueOf(Key k) { return k * 2654435761ull + 13; }
+
+/// The workload is a pure function of the config: all rounds are generated
+/// up front, independent of operation outcomes, so record and replay (and
+/// every minimized variant) submit the identical operation sequence. Keys
+/// are distinct within a round, which makes per-key outcomes deterministic
+/// given the quiescence barrier between rounds.
+std::vector<std::vector<WorkOp>> GenerateWorkload(const EpisodeConfig& c) {
+  Rng rng(c.seed ^ 0x3C6EF372FE94F82Aull);
+  std::vector<std::vector<WorkOp>> rounds(c.rounds);
+  std::vector<Key> ever_inserted;
+  for (uint32_t r = 0; r < c.rounds; ++r) {
+    std::set<Key> used;
+    auto fresh_key = [&]() -> Key {
+      for (int tries = 0; tries < 64; ++tries) {
+        Key k = rng.Range(1, c.key_space);
+        if (used.insert(k).second) return k;
+      }
+      return 0;  // key space exhausted for this round
+    };
+    std::vector<Key> round_inserts;
+    for (uint32_t i = 0; i < c.ops_per_round; ++i) {
+      uint64_t dice = rng.Below(100);
+      WorkOp op;
+      op.home = static_cast<ProcessorId>(rng.Below(c.processors));
+      if (dice < 55 || ever_inserted.empty()) {
+        op.kind = OpKind::kInsert;
+        op.key = fresh_key();
+      } else if (dice < 75) {
+        op.kind = OpKind::kDelete;
+        Key k = ever_inserted[rng.Below(ever_inserted.size())];
+        op.key = used.insert(k).second ? k : fresh_key();
+        if (op.key != k) op.kind = OpKind::kInsert;  // fall back to insert
+      } else {
+        op.kind = OpKind::kSearch;
+        Key k = ever_inserted[rng.Below(ever_inserted.size())];
+        op.key = used.insert(k).second ? k : fresh_key();
+      }
+      if (op.key == 0) continue;  // round's key budget exhausted
+      if (op.kind == OpKind::kInsert) round_inserts.push_back(op.key);
+      rounds[r].push_back(op);
+    }
+    ever_inserted.insert(ever_inserted.end(), round_inserts.begin(),
+                         round_inserts.end());
+  }
+  return rounds;
+}
+
+struct OpRecord {
+  WorkOp op;
+  bool done = false;
+  OpResult result;
+};
+
+std::string FoldLines(std::string s) {
+  for (char& c : s) {
+    if (c == '\n') c = ';';
+  }
+  return s;
+}
+
+EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
+                             net::ScheduleStrategy* strategy,
+                             ReplayStrategy* replay,
+                             TraceRecorder* recorder, bool strict) {
+  ClusterOptions options;
+  options.processors = config.processors;
+  options.protocol = config.protocol;
+  options.transport = TransportKind::kSim;
+  options.seed = config.seed;
+  options.tree.max_entries = config.fanout;
+  options.tree.track_history = true;
+  options.tree.leaf_replication = config.leaf_replication;
+  options.tree.interior_replication = config.interior_replication;
+
+  Cluster cluster(std::move(options));
+  net::SimNetwork* sim = cluster.sim();
+  LAZYTREE_CHECK(sim != nullptr) << "episodes need the sim transport";
+  sim->SetStrategy(strategy);
+  if (recorder != nullptr) sim->SetObserver(recorder);
+  // Replay pins every outcome via ForceOutcome; fault randomness is only
+  // live while recording.
+  if (replay == nullptr && (config.drop > 0 || config.dup > 0)) {
+    sim->InjectFaults(config.drop, config.dup);
+  }
+  cluster.Start();
+
+  std::vector<std::vector<WorkOp>> rounds = GenerateWorkload(config);
+  size_t total_ops = 0;
+  for (const auto& r : rounds) total_ops += r.size();
+  std::vector<OpRecord> ops;
+  ops.reserve(total_ops);
+
+  // Crash plan, applied in (round, after_steps) order while recording.
+  std::vector<CrashEvent> plan = config.crashes;
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const CrashEvent& a, const CrashEvent& b) {
+                     return a.round != b.round ? a.round < b.round
+                                               : a.after_steps < b.after_steps;
+                   });
+  size_t next_plan = 0;
+
+  uint64_t steps_used = 0;
+  bool livelock = false;
+
+  auto apply_control = [&](const TraceEvent& e) {
+    if (e.kind == TraceEvent::Kind::kCrash) {
+      cluster.CrashProcessor(e.to);
+    } else {
+      cluster.RestartProcessor(e.to);
+    }
+  };
+  auto apply_plan_event = [&](const CrashEvent& e) {
+    if (e.restart) {
+      cluster.RestartProcessor(e.processor);
+    } else {
+      cluster.CrashProcessor(e.processor);
+    }
+  };
+
+  // Delivers messages until the round quiesces (or the budget dies),
+  // interleaving crash-plan events (record) or trace control events
+  // (replay) between deliveries. Trailing events land at quiescence so
+  // their position relative to the next round's submissions is identical
+  // in record and replay.
+  auto drive = [&](uint32_t round) {
+    uint64_t steps_in_round = 0;
+    while (true) {
+      if (replay != nullptr) {
+        while (const TraceEvent* e = replay->PeekControl()) {
+          apply_control(*e);
+          replay->AdvanceControl();
+        }
+      } else {
+        while (next_plan < plan.size() && plan[next_plan].round <= round &&
+               (plan[next_plan].round < round ||
+                plan[next_plan].after_steps <= steps_in_round)) {
+          apply_plan_event(plan[next_plan++]);
+        }
+      }
+      if (steps_used >= config.step_budget) {
+        livelock = sim->Pending() > 0;
+        return;
+      }
+      if (!sim->Step()) break;
+      ++steps_used;
+      ++steps_in_round;
+    }
+    // Quiescent: flush this round's remaining plan/control events.
+    if (replay != nullptr) {
+      while (const TraceEvent* e = replay->PeekControl()) {
+        apply_control(*e);
+        replay->AdvanceControl();
+      }
+    } else {
+      while (next_plan < plan.size() && plan[next_plan].round <= round) {
+        apply_plan_event(plan[next_plan++]);
+      }
+    }
+  };
+
+  for (uint32_t r = 0; r < config.rounds && !livelock; ++r) {
+    for (const WorkOp& w : rounds[r]) {
+      const size_t idx = ops.size();
+      ops.push_back(OpRecord{w});
+      auto cb = [&ops, idx](const OpResult& res) {
+        ops[idx].result = res;
+        ops[idx].done = true;
+      };
+      switch (w.kind) {
+        case OpKind::kInsert:
+          cluster.InsertAsync(w.home, w.key, ValueOf(w.key), cb);
+          break;
+        case OpKind::kDelete:
+          cluster.DeleteAsync(w.home, w.key, cb);
+          break;
+        case OpKind::kSearch:
+          cluster.SearchAsync(w.home, w.key, cb);
+          break;
+      }
+    }
+    drive(r);
+  }
+  if (!livelock) drive(config.rounds);  // final drain + leftover events
+
+  // ---- verification battery ----
+  EpisodeResult result;
+  result.steps = steps_used;
+  result.delivered = sim->delivered();
+  result.ops_submitted = ops.size();
+  for (const OpRecord& op : ops) {
+    if (op.done) ++result.ops_completed;
+  }
+  std::vector<std::string>& violations = result.violations;
+
+  if (livelock) {
+    violations.push_back(
+        "livelock: " + std::to_string(sim->Pending()) +
+        " messages still pending after " + std::to_string(steps_used) +
+        " deliveries");
+  }
+
+  // One entry per checker violation: the failure signature is the first
+  // entry alone, so the minimizer can shed faults that only feed later
+  // violations.
+  for (const std::string& v : cluster.VerifyHistories().violations) {
+    violations.push_back("history: " + FoldLines(v));
+  }
+  for (const std::string& v : cluster.CheckTreeStructure()) {
+    violations.push_back("structure: " + v);
+  }
+
+  // Per-key fate: fold completed outcomes into must-present / must-absent
+  // / unknown, in submission order (rounds are serial; keys are distinct
+  // within a round, so this order is the per-key serialization).
+  enum class Fate : uint8_t { kAbsent, kPresent, kUnknown };
+  std::map<Key, Fate> fate;
+  std::set<Key> ever_submitted_insert;
+  for (const OpRecord& op : ops) {
+    Fate& f = fate.try_emplace(op.op.key, Fate::kAbsent).first->second;
+    switch (op.op.kind) {
+      case OpKind::kInsert:
+        ever_submitted_insert.insert(op.op.key);
+        if (op.done && (op.result.status.ok() ||
+                        op.result.status.IsAlreadyExists())) {
+          f = Fate::kPresent;
+        } else if (f != Fate::kPresent) {
+          f = Fate::kUnknown;  // may or may not have applied
+        }
+        break;
+      case OpKind::kDelete:
+        if (op.done && (op.result.status.ok() ||
+                        op.result.status.IsNotFound())) {
+          f = Fate::kAbsent;
+        } else if (f == Fate::kPresent) {
+          f = Fate::kUnknown;  // delete may have applied before failing
+        }
+        break;
+      case OpKind::kSearch:
+        break;  // reads do not change fate
+    }
+  }
+  std::vector<Entry> dump = cluster.DumpLeaves();
+  std::map<Key, Value> present;
+  for (const Entry& e : dump) present[e.key] = e.payload;
+  for (const auto& [key, f] : fate) {
+    auto it = present.find(key);
+    if (f == Fate::kPresent) {
+      if (it == present.end()) {
+        violations.push_back("lost key " + std::to_string(key) +
+                             ": completed insert missing from the tree");
+      } else if (it->second != ValueOf(key)) {
+        violations.push_back("wrong value for key " + std::to_string(key));
+      }
+    } else if (f == Fate::kAbsent) {
+      if (it != present.end()) {
+        violations.push_back("resurrected key " + std::to_string(key) +
+                             ": completed delete still in the tree");
+      }
+    } else if (it != present.end() && it->second != ValueOf(key)) {
+      violations.push_back("wrong value for key " + std::to_string(key));
+    }
+  }
+  for (const auto& [key, value] : present) {
+    if (!ever_submitted_insert.count(key)) {
+      violations.push_back("ghost key " + std::to_string(key) +
+                           ": present but never inserted");
+    }
+  }
+
+  // Clean episodes get the strict check: every operation completed, with
+  // the oracle's exact return code, and the dictionaries match.
+  if (strict && !livelock) {
+    Oracle oracle(/*upsert=*/false);
+    for (const OpRecord& op : ops) {
+      if (!op.done) {
+        violations.push_back("incomplete op: " +
+                             std::string(op.op.kind == OpKind::kInsert
+                                             ? "insert"
+                                             : op.op.kind == OpKind::kDelete
+                                                   ? "delete"
+                                                   : "search") +
+                             " key " + std::to_string(op.op.key) +
+                             " never completed");
+        continue;
+      }
+      StatusCode want = StatusCode::kOk;
+      Value want_value = 0;
+      switch (op.op.kind) {
+        case OpKind::kInsert:
+          want = oracle.Insert(op.op.key, ValueOf(op.op.key)).code();
+          break;
+        case OpKind::kDelete:
+          want = oracle.Delete(op.op.key).code();
+          break;
+        case OpKind::kSearch: {
+          StatusOr<Value> w = oracle.Search(op.op.key);
+          want = w.status().code();
+          if (w.ok()) want_value = *w;
+          break;
+        }
+      }
+      if (op.result.status.code() != want) {
+        violations.push_back(
+            "oracle rc mismatch for key " + std::to_string(op.op.key) +
+            ": got " + StatusCodeName(op.result.status.code()) + ", want " +
+            StatusCodeName(want));
+      } else if (op.op.kind == OpKind::kSearch && want == StatusCode::kOk &&
+                 op.result.value != want_value) {
+        violations.push_back("oracle value mismatch for key " +
+                             std::to_string(op.op.key));
+      }
+    }
+    std::vector<Entry> want_dump = oracle.Dump();
+    if (dump.size() != want_dump.size()) {
+      violations.push_back(
+          "dictionary size mismatch: tree holds " +
+          std::to_string(dump.size()) + " keys, oracle " +
+          std::to_string(want_dump.size()));
+    } else {
+      for (size_t i = 0; i < dump.size(); ++i) {
+        if (dump[i].key != want_dump[i].key ||
+            dump[i].payload != want_dump[i].payload) {
+          violations.push_back("dictionary mismatch at index " +
+                               std::to_string(i));
+          break;
+        }
+      }
+    }
+  }
+
+  if (replay != nullptr) result.replay_diverged = replay->diverged();
+  result.ok = violations.empty();
+  // Detach before the cluster (and its network) die.
+  sim->SetStrategy(nullptr);
+  sim->SetObserver(nullptr);
+  return result;
+}
+
+}  // namespace
+
+bool ParseProtocolKind(const std::string& name, ProtocolKind* out) {
+  if (name == "sync") *out = ProtocolKind::kSyncSplit;
+  else if (name == "semisync") *out = ProtocolKind::kSemiSyncSplit;
+  else if (name == "naive") *out = ProtocolKind::kNaive;
+  else if (name == "vigorous") *out = ProtocolKind::kVigorous;
+  else if (name == "mobile") *out = ProtocolKind::kMobile;
+  else if (name == "varcopies") *out = ProtocolKind::kVarCopies;
+  else return false;
+  return true;
+}
+
+std::string EpisodeResult::Signature() const {
+  if (violations.empty()) return "";
+  std::string s = violations.front();
+  for (char& c : s) {
+    if (c == '\n') c = ';';
+  }
+  return s;
+}
+
+EpisodeResult RunEpisode(const EpisodeConfig& config) {
+  std::unique_ptr<net::ScheduleStrategy> strategy =
+      MakeStrategy(config.strategy);
+  TraceRecorder recorder;
+  EpisodeResult result = RunEpisodeImpl(config, strategy.get(), nullptr,
+                                        &recorder, config.clean());
+  result.trace = std::move(recorder.trace());
+  ScheduleTrace& t = result.trace;
+  t.meta["protocol"] = ProtocolKindName(config.protocol);
+  t.meta["strategy"] = StrategyKindName(config.strategy.kind);
+  t.meta["strategy_seed"] = std::to_string(config.strategy.seed);
+  t.meta["pct_depth"] = std::to_string(config.strategy.pct_depth);
+  t.meta["pct_expected_events"] =
+      std::to_string(config.strategy.pct_expected_events);
+  t.meta["starve_victim"] = std::to_string(config.strategy.starve_victim);
+  t.meta["starve_cap"] = std::to_string(config.strategy.starve_cap);
+  t.meta["seed"] = std::to_string(config.seed);
+  t.meta["processors"] = std::to_string(config.processors);
+  t.meta["rounds"] = std::to_string(config.rounds);
+  t.meta["ops_per_round"] = std::to_string(config.ops_per_round);
+  t.meta["key_space"] = std::to_string(config.key_space);
+  t.meta["fanout"] = std::to_string(config.fanout);
+  t.meta["leaf_replication"] = std::to_string(config.leaf_replication);
+  t.meta["interior_replication"] =
+      std::to_string(config.interior_replication);
+  t.meta["result"] = result.ok ? "ok" : "fail";
+  if (!result.ok) t.meta["failure"] = result.Signature();
+  return result;
+}
+
+EpisodeResult ReplayEpisode(const EpisodeConfig& config,
+                            const ScheduleTrace& trace) {
+  ReplayStrategy replay(trace);
+  // Strict (oracle-exact) verification only applies when the replayed
+  // schedule injects nothing: a trace with faults or crashes legitimately
+  // fails/abandons operations, whatever config.crashes says.
+  const bool strict = config.clean() && trace.FaultCount() == 0 &&
+                      trace.ControlCount() == 0;
+  EpisodeResult result =
+      RunEpisodeImpl(config, &replay, &replay, nullptr, strict);
+  result.trace = trace;
+  return result;
+}
+
+}  // namespace lazytree::sim

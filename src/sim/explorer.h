@@ -1,0 +1,106 @@
+// Episode runner for schedule exploration.
+//
+// An *episode* is one complete, self-checking run of a cluster under an
+// adversarial schedule: a workload derived purely from the config (so it
+// is identical across record and replay), executed in quiescence-separated
+// rounds while a ScheduleStrategy picks every delivery and an optional
+// crash plan kills/restarts processors between deliveries. At the end the
+// episode runs the full verification battery:
+//
+//   * the three §3 history checkers (CheckAll),
+//   * the structural tree walk (ranges chain, links resolve),
+//   * per-key fate: a key whose insert completed must be present, a key
+//     whose delete completed must be absent, nothing appears that was
+//     never inserted — sound even when crashes leave operations with
+//     unknown outcomes,
+//   * for clean episodes (no faults, no crashes): every operation
+//     completed with exactly the oracle's return code, and the leaf
+//     dictionary equals the oracle dump.
+//
+// RunEpisode records the schedule into a ScheduleTrace; ReplayEpisode
+// re-executes a trace deterministically. (config, trace) is the repro
+// unit the minimizer (minimize.h) and the `lazytree_explore` CLI shuffle
+// around.
+
+#ifndef LAZYTREE_SIM_EXPLORER_H_
+#define LAZYTREE_SIM_EXPLORER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/options.h"
+#include "src/sim/strategy.h"
+#include "src/sim/trace.h"
+
+namespace lazytree::sim {
+
+/// Parses "sync" / "semisync" / "naive" / "vigorous" / "mobile" /
+/// "varcopies" (the ProtocolKindName spellings); false on unknown names.
+bool ParseProtocolKind(const std::string& name, ProtocolKind* out);
+
+/// One crash-plan entry, applied between deliveries during `round` once
+/// `after_steps` deliveries of that round have run (or at the round's
+/// quiescence if the round is shorter). Replay ignores the plan — the
+/// recorded trace carries the crash/restart positions exactly.
+struct CrashEvent {
+  uint32_t round = 0;
+  uint64_t after_steps = 0;
+  ProcessorId processor = 0;
+  bool restart = false;  ///< false = crash, true = restart
+};
+
+struct EpisodeConfig {
+  ProtocolKind protocol = ProtocolKind::kSemiSyncSplit;
+  uint32_t processors = 4;
+  /// Seeds the cluster (protocol rngs) and the workload generator. The
+  /// strategy has its own seed in `strategy`.
+  uint64_t seed = 1;
+  StrategyOptions strategy;
+  uint32_t rounds = 6;
+  uint32_t ops_per_round = 24;
+  uint64_t key_space = 512;
+  size_t fanout = 6;
+  uint32_t leaf_replication = 1;
+  uint32_t interior_replication = 0;
+  /// Network fault probabilities (record mode only; replay pins outcomes).
+  double drop = 0;
+  double dup = 0;
+  std::vector<CrashEvent> crashes;
+  /// Total delivery budget; exhausting it is reported as livelock.
+  uint64_t step_budget = 2000000;
+
+  /// True when every operation must complete and the oracle must match
+  /// exactly (no injected faults, no crash plan).
+  bool clean() const { return drop == 0 && dup == 0 && crashes.empty(); }
+};
+
+struct EpisodeResult {
+  bool ok = false;
+  /// Checker/oracle violations, worst first; empty iff ok.
+  std::vector<std::string> violations;
+  uint64_t steps = 0;
+  uint64_t delivered = 0;
+  size_t ops_submitted = 0;
+  size_t ops_completed = 0;
+  /// Recorded schedule (record mode); copy of the input trace on replay.
+  ScheduleTrace trace;
+  /// Replay only: delivery events that no longer matched a live channel.
+  uint64_t replay_diverged = 0;
+
+  /// Stable one-line failure identity (first violation, newlines folded).
+  /// The minimizer reduces a trace while preserving this.
+  std::string Signature() const;
+};
+
+/// Runs one episode under config.strategy, recording the schedule.
+EpisodeResult RunEpisode(const EpisodeConfig& config);
+
+/// Re-executes a recorded schedule. `config` must describe the same
+/// episode the trace came from (protocol, processors, seed, workload
+/// shape); crash/restart events come from the trace, not config.crashes.
+EpisodeResult ReplayEpisode(const EpisodeConfig& config,
+                            const ScheduleTrace& trace);
+
+}  // namespace lazytree::sim
+
+#endif  // LAZYTREE_SIM_EXPLORER_H_

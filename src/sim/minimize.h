@@ -1,0 +1,38 @@
+// Delta-debugging trace minimization.
+//
+// A failing episode's trace usually carries far more injected faults
+// (drops, duplicates, crashes) than the failure needs. MinimizeTrace runs
+// ddmin over the trace's *fault set*: candidate traces flip drop/duplicate
+// events back to plain deliveries and remove crash/restart events, then
+// replay — deliveries are never deleted, so candidates stay aligned with
+// the executions they drive. A candidate survives when its replay fails
+// with the same signature (first violation) as the original. The final
+// trace is 1-minimal (no single remaining fault can be removed) and is
+// replayed twice to confirm the failure reproduces deterministically.
+
+#ifndef LAZYTREE_SIM_MINIMIZE_H_
+#define LAZYTREE_SIM_MINIMIZE_H_
+
+#include <string>
+
+#include "src/sim/explorer.h"
+
+namespace lazytree::sim {
+
+struct MinimizeResult {
+  ScheduleTrace trace;        ///< minimized trace
+  std::string signature;      ///< the failure it reproduces
+  size_t initial_faults = 0;  ///< fault + control events before
+  size_t final_faults = 0;    ///< ... and after
+  size_t replays = 0;         ///< candidate replays spent
+  bool deterministic = false; ///< final trace replayed twice identically
+};
+
+/// Minimizes a failing trace. Errors when the input trace does not fail
+/// on replay (nothing to minimize against).
+StatusOr<MinimizeResult> MinimizeTrace(const EpisodeConfig& config,
+                                       const ScheduleTrace& trace);
+
+}  // namespace lazytree::sim
+
+#endif  // LAZYTREE_SIM_MINIMIZE_H_

@@ -1,0 +1,116 @@
+#include "src/sim/strategy.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace lazytree::sim {
+
+const char* StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kUniform: return "uniform";
+    case StrategyKind::kPct: return "pct";
+    case StrategyKind::kStarve: return "starve";
+  }
+  return "?";
+}
+
+bool ParseStrategyKind(const std::string& name, StrategyKind* out) {
+  if (name == "uniform") *out = StrategyKind::kUniform;
+  else if (name == "pct") *out = StrategyKind::kPct;
+  else if (name == "starve") *out = StrategyKind::kStarve;
+  else return false;
+  return true;
+}
+
+PctStrategy::PctStrategy(uint64_t seed, uint32_t depth,
+                         uint64_t expected_events)
+    : rng_(seed ^ 0x9C7ull) {
+  LAZYTREE_CHECK(depth >= 1) << "PCT depth must be >= 1";
+  // d-1 change points, uniform over [1, k], applied in ascending step
+  // order (stored descending so back() is next).
+  for (uint32_t i = 0; i + 1 < depth; ++i) {
+    change_points_.push_back(rng_.Range(1, std::max<uint64_t>(
+                                               expected_events, 1)));
+  }
+  std::sort(change_points_.rbegin(), change_points_.rend());
+}
+
+uint64_t PctStrategy::PriorityOf(const ChannelKey& key) {
+  auto it = priorities_.find(key);
+  if (it != priorities_.end()) return it->second;
+  // Initial priorities live strictly above the demoted band.
+  uint64_t priority = kDemotedBase + 1 + rng_.Next() % (1ull << 31);
+  priorities_.emplace(key, priority);
+  return priority;
+}
+
+size_t PctStrategy::PickChannel(
+    const std::vector<net::ChannelView>& channels) {
+  ++steps_;
+  size_t best = 0;
+  uint64_t best_priority = 0;
+  for (size_t i = 0; i < channels.size(); ++i) {
+    uint64_t priority = PriorityOf({channels[i].from, channels[i].to});
+    if (i == 0 || priority > best_priority) {
+      best = i;
+      best_priority = priority;
+    }
+  }
+  if (!change_points_.empty() && steps_ >= change_points_.back()) {
+    change_points_.pop_back();
+    ++change_points_hit_;
+    // Demote the channel that was about to run below everything seen so
+    // far; it delivers this one message, then yields.
+    priorities_[{channels[best].from, channels[best].to}] = --next_demoted_;
+  }
+  return best;
+}
+
+StarvationStrategy::StarvationStrategy(uint64_t seed, ProcessorId victim,
+                                       uint32_t max_starve)
+    : rng_(seed ^ 0x57a8ull), victim_(victim),
+      max_starve_(std::max(max_starve, 1u)) {}
+
+size_t StarvationStrategy::PickChannel(
+    const std::vector<net::ChannelView>& channels) {
+  candidates_.clear();
+  for (size_t i = 0; i < channels.size(); ++i) {
+    if (channels[i].to != victim_) candidates_.push_back(i);
+  }
+  const bool victim_has_work = candidates_.size() < channels.size();
+  if (!victim_has_work) {
+    starved_run_ = 0;
+    return rng_.Below(channels.size());
+  }
+  if (candidates_.empty() || starved_run_ >= max_starve_) {
+    // Fairness release: deliver one starved message so episodes quiesce.
+    starved_run_ = 0;
+    size_t victim_index = rng_.Below(channels.size() - candidates_.size());
+    for (size_t i = 0; i < channels.size(); ++i) {
+      if (channels[i].to != victim_) continue;
+      if (victim_index == 0) return i;
+      --victim_index;
+    }
+    return 0;  // unreachable
+  }
+  ++starved_run_;
+  return candidates_[rng_.Below(candidates_.size())];
+}
+
+std::unique_ptr<net::ScheduleStrategy> MakeStrategy(
+    const StrategyOptions& options) {
+  switch (options.kind) {
+    case StrategyKind::kUniform:
+      return std::make_unique<UniformStrategy>(options.seed);
+    case StrategyKind::kPct:
+      return std::make_unique<PctStrategy>(options.seed, options.pct_depth,
+                                           options.pct_expected_events);
+    case StrategyKind::kStarve:
+      return std::make_unique<StarvationStrategy>(
+          options.seed, options.starve_victim, options.starve_cap);
+  }
+  return nullptr;
+}
+
+}  // namespace lazytree::sim

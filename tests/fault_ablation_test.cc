@@ -12,6 +12,7 @@
 #include <set>
 
 #include "src/protocol/varcopies.h"
+#include "src/sim/explorer.h"
 #include "tests/test_util.h"
 
 namespace lazytree {
@@ -85,6 +86,45 @@ TEST(NetworkAssumption, CleanNetworkBaselineIsGreen) {
   EXPECT_FALSE(d.any()) << "violations=" << d.violations
                         << " lost=" << d.lost_completions
                         << " missing=" << d.missing_keys;
+}
+
+// Faulty schedules detected under `kind` scheduling across a fixed seed
+// budget (more detections = fewer seeds needed per repro on average).
+constexpr uint64_t kSeedBudget = 12;
+uint64_t DetectionsUnder(sim::StrategyKind kind, double drop) {
+  uint64_t detections = 0;
+  for (uint64_t seed = 1; seed <= kSeedBudget; ++seed) {
+    sim::EpisodeConfig config;
+    config.protocol = ProtocolKind::kSemiSyncSplit;
+    config.processors = 4;
+    config.seed = seed;
+    config.rounds = 4;
+    config.ops_per_round = 20;
+    config.key_space = 256;
+    config.fanout = 4;
+    config.drop = drop;
+    config.strategy.kind = kind;
+    config.strategy.seed = seed;
+    if (!sim::RunEpisode(config).ok) ++detections;
+  }
+  return detections;
+}
+
+// Ablation of the *schedule* dimension: under the same sparse message
+// loss, PCT priority scheduling exposes at least as many faulty
+// schedules per seed budget as uniform-random delivery. PCT keeps
+// demoted channels' messages in flight across structure changes, so a
+// single dropped relay is far more likely to land inside the window
+// where it matters.
+TEST(NetworkAssumption, PctDetectsSparseLossAtLeastAsOftenAsUniform) {
+  const double drop = 0.004;
+  uint64_t pct = DetectionsUnder(sim::StrategyKind::kPct, drop);
+  uint64_t uniform = DetectionsUnder(sim::StrategyKind::kUniform, drop);
+  EXPECT_GT(pct, 0u) << "PCT must detect 0.4% loss within " << kSeedBudget
+                     << " seeds";
+  EXPECT_GE(pct, uniform)
+      << "PCT detected " << pct << "/" << kSeedBudget << ", uniform "
+      << uniform << "/" << kSeedBudget;
 }
 
 // Ablation: without the §4.3 version-gated re-relay, the constructed
