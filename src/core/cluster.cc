@@ -63,7 +63,8 @@ Cluster::Cluster(ClusterOptions options)
     sim_ = sim.get();
     base_network_ = std::move(sim);
   } else {
-    base_network_ = std::make_unique<net::ThreadNetwork>();
+    base_network_ = std::make_unique<net::ThreadNetwork>(
+        net::ThreadNetwork::Options{.checked_wire = options_.checked_wire});
   }
   network_ = base_network_.get();
   if (options_.piggyback_window > 0) {

@@ -31,6 +31,10 @@ struct ClusterOptions {
   uint32_t processors = 4;
   ProtocolKind protocol = ProtocolKind::kSemiSyncSplit;
   TransportKind transport = TransportKind::kSim;
+  /// Thread transport only: round-trip every message through the wire
+  /// encoder/decoder instead of the zero-copy fast path (also forced by
+  /// the LAZYTREE_CHECKED_WIRE=1 environment variable).
+  bool checked_wire = false;
   /// Seed for the sim scheduler and all protocol-internal randomness.
   uint64_t seed = 1;
   /// Sim transport only: when > 0, run the simulator in timestamped mode

@@ -24,6 +24,9 @@ class Writer {
   void PutVarint(uint64_t v);
   void PutFixed8(uint8_t v);
   void PutBool(bool v) { PutFixed8(v ? 1 : 0); }
+  /// Pre-grows the buffer for `n` more bytes so a burst of small appends
+  /// (every field here is a 1-10 byte varint) lands in one allocation.
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
   std::vector<uint8_t> Take() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
 
@@ -54,7 +57,10 @@ std::vector<uint8_t> EncodeMessage(const Message& m);
 /// Decodes a message; fails on truncation or unknown kinds.
 StatusOr<Message> DecodeMessage(const std::vector<uint8_t>& bytes);
 
-/// Encoded size without materializing the buffer (for stats).
+/// Encoded size without materializing the buffer (for stats): runs the
+/// encoder against a byte-counting sink, so it is exact by construction
+/// and cannot drift from EncodeMessage (wire_test asserts this over
+/// random messages).
 size_t EncodedSize(const Message& m);
 
 // Exposed for unit tests.

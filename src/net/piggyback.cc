@@ -21,35 +21,50 @@ bool PiggybackNetwork::Deferrable(const Message& m) {
   return true;
 }
 
+void PiggybackNetwork::EnsureChannels() {
+  std::call_once(channels_once_, [this] {
+    num_processors_ = base_->size();
+    channels_.resize(num_processors_ * num_processors_);
+    for (auto& ch : channels_) ch = std::make_unique<ChannelBuf>();
+  });
+}
+
 void PiggybackNetwork::Send(Message m) {
   if (max_buffered_ == 0 || m.from == m.to) {
     base_->Send(std::move(m));
     return;
   }
-  const uint64_t key = ChannelKey(m.from, m.to);
+  EnsureChannels();
+  LAZYTREE_CHECK(m.from < num_processors_ && m.to < num_processors_)
+      << "send on unregistered channel p" << m.from << "->p" << m.to;
+  ChannelBuf& ch = ChannelFor(m.from, m.to);
   bool flush_now = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto& buf = buffers_[key];
+    std::lock_guard<std::mutex> lock(ch.mu);
     if (Deferrable(m)) {
       stats_.OnPiggyback(m.actions.size());
-      for (Action& a : m.actions) buf.push_back(std::move(a));
-      buffered_total_ += m.actions.size();
-      if (buf.size() >= max_buffered_) {
-        // Cap reached: turn the buffer into a standalone message.
-        m.actions = std::move(buf);
-        buffers_.erase(key);
-        buffered_total_ -= m.actions.size();
+      const size_t added = m.actions.size();
+      for (Action& a : m.actions) ch.actions.push_back(std::move(a));
+      if (ch.actions.size() >= max_buffered_) {
+        // Threshold reached: the buffer departs as one coalesced batch.
+        buffered_total_.fetch_sub(ch.actions.size() - added,
+                                  std::memory_order_acq_rel);
+        m.actions = std::move(ch.actions);
+        ch.actions.clear();
         flush_now = true;
+      } else {
+        buffered_total_.fetch_add(added, std::memory_order_acq_rel);
       }
-    } else if (!buf.empty()) {
+    } else if (!ch.actions.empty()) {
       // Direct message departs: buffered relays ride along, in order,
       // ahead of the direct action (they were issued first).
-      buffered_total_ -= buf.size();
-      buf.insert(buf.end(), std::make_move_iterator(m.actions.begin()),
-                 std::make_move_iterator(m.actions.end()));
-      m.actions = std::move(buf);
-      buffers_.erase(key);
+      buffered_total_.fetch_sub(ch.actions.size(),
+                                std::memory_order_acq_rel);
+      ch.actions.insert(ch.actions.end(),
+                        std::make_move_iterator(m.actions.begin()),
+                        std::make_move_iterator(m.actions.end()));
+      m.actions = std::move(ch.actions);
+      ch.actions.clear();
       flush_now = true;
     } else {
       flush_now = true;
@@ -59,19 +74,24 @@ void PiggybackNetwork::Send(Message m) {
 }
 
 void PiggybackNetwork::FlushAll() {
-  std::unordered_map<uint64_t, std::vector<Action>> drained;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    drained.swap(buffers_);
-    buffered_total_ = 0;
-  }
-  for (auto& [key, actions] : drained) {
-    if (actions.empty()) continue;
-    Message m;
-    m.from = static_cast<ProcessorId>(key >> 32);
-    m.to = static_cast<ProcessorId>(key);
-    m.actions = std::move(actions);
-    base_->Send(std::move(m));
+  if (max_buffered_ == 0 || base_->size() == 0) return;
+  EnsureChannels();
+  for (size_t from = 0; from < num_processors_; ++from) {
+    for (size_t to = 0; to < num_processors_; ++to) {
+      ChannelBuf& ch = *channels_[from * num_processors_ + to];
+      Message m;
+      {
+        std::lock_guard<std::mutex> lock(ch.mu);
+        if (ch.actions.empty()) continue;
+        buffered_total_.fetch_sub(ch.actions.size(),
+                                  std::memory_order_acq_rel);
+        m.actions = std::move(ch.actions);
+        ch.actions.clear();
+      }
+      m.from = static_cast<ProcessorId>(from);
+      m.to = static_cast<ProcessorId>(to);
+      base_->Send(std::move(m));
+    }
   }
 }
 
@@ -89,15 +109,9 @@ bool PiggybackNetwork::WaitQuiescent(std::chrono::milliseconds timeout) {
   for (int round = 0; round < 1000; ++round) {
     FlushAll();
     if (!base_->WaitQuiescent(timeout)) return false;
-    std::lock_guard<std::mutex> lock(mu_);
-    if (buffered_total_ == 0) return true;
+    if (buffered_total_.load(std::memory_order_acquire) == 0) return true;
   }
   return false;
-}
-
-size_t PiggybackNetwork::Buffered() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return buffered_total_;
 }
 
 }  // namespace lazytree::net

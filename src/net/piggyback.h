@@ -7,14 +7,20 @@
 // are buffered per destination instead of being sent. The buffered actions
 // are prepended onto the *next* message of any kind bound for the same
 // destination, so per-destination FIFO order is exactly preserved; the
-// only effect is batching. A buffer cap bounds staleness, and FlushAll /
-// WaitQuiescent force everything out.
+// only effect is batching. The `max_buffered` flush threshold bounds
+// staleness: a channel buffer that reaches it departs as one coalesced
+// batch message. FlushAll / WaitQuiescent force everything out.
+//
+// Concurrency: the buffer for each ordered (from, to) channel has its own
+// lock, so concurrent senders on the thread transport only contend when
+// they share a channel — there is no global mutex on the send path.
 
 #ifndef LAZYTREE_NET_PIGGYBACK_H_
 #define LAZYTREE_NET_PIGGYBACK_H_
 
+#include <atomic>
+#include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "src/net/transport.h"
@@ -23,8 +29,9 @@ namespace lazytree::net {
 
 class PiggybackNetwork : public Network {
  public:
-  /// `max_buffered` — per-destination action cap; reaching it flushes.
-  /// 0 disables buffering entirely (pass-through).
+  /// `max_buffered` — per-channel action flush threshold; reaching it
+  /// sends the whole buffer as one batch message. 0 disables buffering
+  /// entirely (pass-through).
   PiggybackNetwork(Network* base, size_t max_buffered);
 
   void Register(ProcessorId id, Receiver* receiver) override;
@@ -34,27 +41,40 @@ class PiggybackNetwork : public Network {
   void Stop() override;
   bool WaitQuiescent(std::chrono::milliseconds timeout) override;
 
-  /// Sends every buffered action immediately (as standalone messages).
+  /// Sends every buffered channel immediately (one batch message each).
   void FlushAll();
 
   /// Buffered action count (for tests).
-  size_t Buffered() const;
+  size_t Buffered() const {
+    return buffered_total_.load(std::memory_order_acquire);
+  }
 
   NetworkStats& base_stats() { return base_->stats(); }
 
  private:
+  // One ordered (from, to) lane's deferral buffer. Buffers are per
+  // channel so that flushing preserves each sender's FIFO order toward
+  // the destination.
+  struct ChannelBuf {
+    std::mutex mu;
+    std::vector<Action> actions;
+  };
+
   static bool Deferrable(const Message& m);
-  // Key: (from << 32) | to — buffers are per ordered channel so that
-  // flushing preserves each sender's FIFO order toward the destination.
-  static uint64_t ChannelKey(ProcessorId from, ProcessorId to) {
-    return (static_cast<uint64_t>(from) << 32) | to;
+
+  /// Builds the dense n*n channel table on first use (Register must
+  /// precede all Sends, so `base_->size()` is stable by then).
+  void EnsureChannels();
+  ChannelBuf& ChannelFor(ProcessorId from, ProcessorId to) {
+    return *channels_[static_cast<size_t>(from) * num_processors_ + to];
   }
 
   Network* base_;
   size_t max_buffered_;
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::vector<Action>> buffers_;
-  size_t buffered_total_ = 0;
+  std::once_flag channels_once_;
+  size_t num_processors_ = 0;
+  std::vector<std::unique_ptr<ChannelBuf>> channels_;
+  std::atomic<size_t> buffered_total_{0};
 };
 
 }  // namespace lazytree::net

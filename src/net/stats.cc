@@ -36,9 +36,14 @@ void NetworkStats::OnSend(const Message& m, size_t encoded_bytes) {
     remote_messages_.fetch_add(1, std::memory_order_relaxed);
     remote_bytes_.fetch_add(encoded_bytes, std::memory_order_relaxed);
   }
-  for (const Action& a : m.actions) {
-    actions_by_kind_[static_cast<size_t>(a.kind)].fetch_add(
-        1, std::memory_order_relaxed);
+  // Coalesced messages repeat kinds, so aggregate locally and issue one
+  // atomic RMW per distinct kind instead of one per action.
+  uint32_t counts[static_cast<size_t>(ActionKind::kMaxKind)] = {};
+  for (const Action& a : m.actions) ++counts[static_cast<size_t>(a.kind)];
+  for (size_t k = 0; k < static_cast<size_t>(ActionKind::kMaxKind); ++k) {
+    if (counts[k] != 0) {
+      actions_by_kind_[k].fetch_add(counts[k], std::memory_order_relaxed);
+    }
   }
 }
 

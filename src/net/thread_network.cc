@@ -1,9 +1,24 @@
 #include "src/net/thread_network.h"
 
+#include <cstdlib>
+
 #include "src/msg/wire.h"
 #include "src/util/logging.h"
 
 namespace lazytree::net {
+
+namespace {
+
+bool CheckedWireFromEnv() {
+  const char* v = std::getenv("LAZYTREE_CHECKED_WIRE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
+ThreadNetwork::ThreadNetwork(Options options)
+    : checked_wire_(options.checked_wire || CheckedWireFromEnv()),
+      byte_stats_(options.byte_stats) {}
 
 ThreadNetwork::~ThreadNetwork() { Stop(); }
 
@@ -22,17 +37,24 @@ ProcessorId ThreadNetwork::size() const {
 void ThreadNetwork::Send(Message m) {
   LAZYTREE_CHECK(m.to < stations_.size() && stations_[m.to] != nullptr)
       << "send to unregistered p" << m.to;
-  std::vector<uint8_t> encoded = wire::EncodeMessage(m);
-  stats_.OnSend(m, encoded.size());
-  {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    ++inflight_;
+  Station& station = *stations_[m.to];
+  if (checked_wire_) {
+    std::vector<uint8_t> encoded = wire::EncodeMessage(m);
+    stats_.OnSend(m, encoded.size());
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    if (!station.wire_inbox.Push(std::move(encoded))) {
+      // Inbox closed during shutdown: account the message as handled.
+      OnHandled(1);
+    }
+    return;
   }
-  if (!stations_[m.to]->inbox.Push(std::move(encoded))) {
-    // Inbox closed during shutdown: account the message as handled.
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    --inflight_;
-    inflight_cv_.notify_all();
+  // Opt-in byte counts are exact even though no buffer is materialized;
+  // self-sends are never counted as network bytes.
+  stats_.OnSend(
+      m, byte_stats_ && m.from != m.to ? wire::EncodedSize(m) : 0);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (!station.inbox.Push(std::move(m))) {
+    OnHandled(1);
   }
 }
 
@@ -47,18 +69,34 @@ void ThreadNetwork::Start() {
 }
 
 void ThreadNetwork::WorkerLoop(Station* station) {
-  while (true) {
-    std::optional<std::vector<uint8_t>> encoded = station->inbox.Pop();
-    if (!encoded.has_value()) return;  // closed and drained
-    auto decoded = wire::DecodeMessage(*encoded);
-    LAZYTREE_CHECK(decoded.ok())
-        << "wire corruption: " << decoded.status().ToString();
-    station->receiver->Deliver(std::move(*decoded));
-    {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
-      --inflight_;
-      if (inflight_ == 0) inflight_cv_.notify_all();
+  if (checked_wire_) {
+    // Original pipeline: one encoded message per queue round trip,
+    // decoded and retired individually.
+    while (auto encoded = station->wire_inbox.Pop()) {
+      auto decoded = wire::DecodeMessage(*encoded);
+      LAZYTREE_CHECK(decoded.ok())
+          << "wire corruption: " << decoded.status().ToString();
+      station->receiver->Deliver(std::move(*decoded));
+      OnHandled(1);
     }
+    return;
+  }
+  std::vector<Message> batch;  // recycled across PopAll swaps
+  while (station->inbox.PopAll(batch)) {
+    for (Message& m : batch) {
+      station->receiver->Deliver(std::move(m));
+    }
+    OnHandled(static_cast<int64_t>(batch.size()));
+  }
+}
+
+void ThreadNetwork::OnHandled(int64_t n) {
+  const int64_t prev = inflight_.fetch_sub(n, std::memory_order_acq_rel);
+  LAZYTREE_CHECK(prev >= n) << "inflight underflow: " << prev << " - " << n;
+  if (prev == n) {
+    // Zero transition: sync with WaitQuiescent's predicate check.
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_cv_.notify_all();
   }
 }
 
@@ -66,7 +104,10 @@ void ThreadNetwork::Stop() {
   bool expected = false;
   if (!stopped_.compare_exchange_strong(expected, true)) return;
   for (auto& station : stations_) {
-    if (station) station->inbox.Close();
+    if (station) {
+      station->inbox.Close();
+      station->wire_inbox.Close();
+    }
   }
   for (auto& station : stations_) {
     if (station && station->worker.joinable()) station->worker.join();
@@ -75,8 +116,9 @@ void ThreadNetwork::Stop() {
 
 bool ThreadNetwork::WaitQuiescent(std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(inflight_mu_);
-  return inflight_cv_.wait_for(lock, timeout,
-                               [&] { return inflight_ == 0; });
+  return inflight_cv_.wait_for(lock, timeout, [&] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 }  // namespace lazytree::net

@@ -1,29 +1,57 @@
 // ThreadNetwork: one worker thread per simulated processor.
 //
-// Each processor owns an inbox; its worker pops messages and calls
+// Each processor owns an inbox; its worker drains batches and calls
 // Receiver::Deliver serially, which gives the paper's one-node-manager-
 // per-processor execution model with genuine hardware parallelism across
 // processors. FIFO per (from, to) pair holds because a sender enqueues in
 // program order and the inbox is a single FIFO queue.
+//
+// Fast path (default): Send *moves* the Message straight into the
+// destination's batched MPSC inbox — no wire encode/decode — and
+// NetworkStats byte counts come from wire::EncodedSize, so the RPC cost
+// model the benches report is unchanged. The opt-in "checked" mode
+// (constructor option or LAZYTREE_CHECKED_WIRE=1) reproduces the
+// original wire round trip faithfully — encode on Send, per-message
+// handoff through a BlockingQueue of encoded buffers, decode on the
+// worker — keeping the wire format an exercised contract, guaranteeing
+// no mutable state leaks across "processors", and doubling as the
+// before-baseline the transport microbenchmark compares against.
 
 #ifndef LAZYTREE_NET_THREAD_NETWORK_H_
 #define LAZYTREE_NET_THREAD_NETWORK_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/net/transport.h"
+#include "src/util/mpsc_queue.h"
 #include "src/util/threading.h"
 
 namespace lazytree::net {
 
 class ThreadNetwork : public Network {
  public:
-  ThreadNetwork() = default;
+  struct Options {
+    /// Round-trip every message through wire::EncodeMessage/DecodeMessage
+    /// with the pre-zero-copy per-message delivery discipline. The
+    /// LAZYTREE_CHECKED_WIRE=1 environment variable forces this on
+    /// regardless of the option.
+    bool checked_wire = false;
+    /// Account NetworkStats::remote_bytes on the fast path (exact, via
+    /// wire::EncodedSize — no buffer is materialized). Off by default:
+    /// the walk costs real time per snapshot-bearing send and the
+    /// RPC-cost benches that consume byte counts run on SimNetwork.
+    /// Checked mode always reports exact bytes (the buffer exists).
+    bool byte_stats = false;
+  };
+
+  ThreadNetwork() : ThreadNetwork(Options{}) {}
+  explicit ThreadNetwork(Options options);
   ~ThreadNetwork() override;
 
   void Register(ProcessorId id, Receiver* receiver) override;
@@ -33,23 +61,36 @@ class ThreadNetwork : public Network {
   void Stop() override;
   bool WaitQuiescent(std::chrono::milliseconds timeout) override;
 
+  bool checked_wire() const { return checked_wire_; }
+
  private:
   struct Station {
     Receiver* receiver = nullptr;
-    BlockingQueue<std::vector<uint8_t>> inbox;
+    // Fast path: messages moved in whole, drained in batches.
+    MpscBatchQueue<Message> inbox;
+    // Checked mode: encoded wire buffers handed off one message at a
+    // time (the original transport's pipeline, kept bit-faithful).
+    BlockingQueue<std::vector<uint8_t>> wire_inbox;
     std::thread worker;
   };
 
   void WorkerLoop(Station* station);
+  // Retires `n` handled (or dropped-at-shutdown) messages; notifies
+  // quiescence waiters on the zero transition.
+  void OnHandled(int64_t n);
 
+  bool checked_wire_ = false;
+  bool byte_stats_ = false;
   std::vector<std::unique_ptr<Station>> stations_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 
-  // Quiescence: count of messages enqueued but not yet fully handled.
+  // Quiescence: messages enqueued but not yet fully handled. Relaxed
+  // increments/decrements on the hot path; the mutex + condition variable
+  // are touched only on the zero transition and by waiters.
+  std::atomic<int64_t> inflight_{0};
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
-  int64_t inflight_ = 0;
 };
 
 }  // namespace lazytree::net

@@ -1,0 +1,247 @@
+// Transport conformance suite: every Network implementation must honor
+// the paper's §4 assumption — reliable, exactly-once, per-(from,to) FIFO
+// delivery — plus the repo's own contract extensions (reentrant Send from
+// Deliver, WaitQuiescent). Runs against the zero-copy ThreadNetwork fast
+// path, the checked (wire round-trip) ThreadNetwork mode, and SimNetwork,
+// so the PR-2 transport rewrite cannot silently weaken any of them.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/sim_network.h"
+#include "src/net/thread_network.h"
+
+namespace lazytree {
+namespace {
+
+enum class TransportUnderTest {
+  kSim,
+  kThreadFast,
+  kThreadChecked,
+};
+
+const char* TransportName(TransportUnderTest t) {
+  switch (t) {
+    case TransportUnderTest::kSim: return "Sim";
+    case TransportUnderTest::kThreadFast: return "ThreadFast";
+    case TransportUnderTest::kThreadChecked: return "ThreadChecked";
+  }
+  return "?";
+}
+
+std::unique_ptr<net::Network> MakeTransport(TransportUnderTest t,
+                                            bool byte_stats = false) {
+  switch (t) {
+    case TransportUnderTest::kSim:
+      return std::make_unique<net::SimNetwork>(7);
+    case TransportUnderTest::kThreadFast:
+      return std::make_unique<net::ThreadNetwork>(net::ThreadNetwork::Options{
+          .checked_wire = false, .byte_stats = byte_stats});
+    case TransportUnderTest::kThreadChecked:
+      return std::make_unique<net::ThreadNetwork>(
+          net::ThreadNetwork::Options{.checked_wire = true});
+  }
+  return nullptr;
+}
+
+bool IsThreaded(TransportUnderTest t) {
+  return t != TransportUnderTest::kSim;
+}
+
+/// Thread-safe sink recording (from, key) sequences and total count.
+class Recorder : public net::Receiver {
+ public:
+  void Deliver(Message m) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Action& a : m.actions) {
+      by_sender_[m.from].push_back(a.key);
+      ++total_;
+    }
+    if (bouncer_) bouncer_(m);
+  }
+
+  /// Installs a hook invoked under the lock for every delivered message.
+  void SetHook(std::function<void(const Message&)> hook) {
+    bouncer_ = std::move(hook);
+  }
+
+  std::vector<Key> SenderKeys(ProcessorId from) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_sender_[from];
+  }
+  size_t total() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::function<void(const Message&)> bouncer_;
+  std::map<ProcessorId, std::vector<Key>> by_sender_;
+  size_t total_ = 0;
+};
+
+Action KeyedAction(Key k) {
+  Action a;
+  a.kind = ActionKind::kSearch;
+  a.key = k;
+  return a;
+}
+
+class TransportConformanceTest
+    : public ::testing::TestWithParam<TransportUnderTest> {};
+
+TEST_P(TransportConformanceTest, FifoPerOrderedPairExactlyOnce) {
+  auto net = MakeTransport(GetParam());
+  constexpr ProcessorId kProcs = 4;
+  constexpr Key kPerChannel = 300;
+  std::vector<std::unique_ptr<Recorder>> sinks;
+  for (ProcessorId id = 0; id < kProcs; ++id) {
+    sinks.push_back(std::make_unique<Recorder>());
+    net->Register(id, sinks.back().get());
+  }
+  net->Start();
+  // Every ordered pair (including self-sends) gets its own key sequence.
+  for (Key k = 0; k < kPerChannel; ++k) {
+    for (ProcessorId from = 0; from < kProcs; ++from) {
+      for (ProcessorId to = 0; to < kProcs; ++to) {
+        net->Send(Message(from, to, KeyedAction(k * 1000 + from)));
+      }
+    }
+  }
+  ASSERT_TRUE(net->WaitQuiescent(std::chrono::milliseconds(10000)));
+  for (ProcessorId to = 0; to < kProcs; ++to) {
+    EXPECT_EQ(sinks[to]->total(), kPerChannel * kProcs) << "exactly-once";
+    for (ProcessorId from = 0; from < kProcs; ++from) {
+      auto keys = sinks[to]->SenderKeys(from);
+      ASSERT_EQ(keys.size(), kPerChannel);
+      for (Key k = 0; k < kPerChannel; ++k) {
+        ASSERT_EQ(keys[k], k * 1000 + from)
+            << "FIFO broken on p" << from << "->p" << to << " at " << k;
+      }
+    }
+  }
+  net->Stop();
+}
+
+TEST_P(TransportConformanceTest, ReentrantSendFromDeliver) {
+  auto net = MakeTransport(GetParam());
+  Recorder r0, r1;
+  net->Register(0, &r0);
+  net->Register(1, &r1);
+  // Ping-pong: each delivery below the limit sends key+1 back.
+  auto bounce = [&](const Message& m) {
+    for (const Action& a : m.actions) {
+      if (a.key < 200) net->Send(Message(m.to, m.from, KeyedAction(a.key + 1)));
+    }
+  };
+  r0.SetHook(bounce);
+  r1.SetHook(bounce);
+  net->Start();
+  net->Send(Message(0, 1, KeyedAction(0)));
+  ASSERT_TRUE(net->WaitQuiescent(std::chrono::milliseconds(10000)));
+  // Keys 0..199 bounce; the final key==200 message arrives unbounced.
+  EXPECT_EQ(r0.total() + r1.total(), 201u);
+  net->Stop();
+}
+
+TEST_P(TransportConformanceTest, QuiescenceUnderSendStorm) {
+  auto net = MakeTransport(GetParam());
+  constexpr int kSenders = 16;
+  constexpr Key kPerSender = 400;
+  std::vector<std::unique_ptr<Recorder>> sinks;
+  for (ProcessorId id = 0; id < kSenders; ++id) {
+    sinks.push_back(std::make_unique<Recorder>());
+    net->Register(id, sinks.back().get());
+  }
+  net->Start();
+  auto send_all = [&](int s) {
+    for (Key k = 0; k < kPerSender; ++k) {
+      net->Send(Message(static_cast<ProcessorId>(s),
+                        static_cast<ProcessorId>((s + 1 + k) % kSenders),
+                        KeyedAction(k)));
+    }
+  };
+  if (IsThreaded(GetParam())) {
+    // 16 real producer threads hammer Send concurrently while workers
+    // drain; WaitQuiescent must only return true once every message has
+    // been fully handled.
+    std::vector<std::thread> senders;
+    for (int s = 0; s < kSenders; ++s) senders.emplace_back(send_all, s);
+    for (auto& t : senders) t.join();
+  } else {
+    for (int s = 0; s < kSenders; ++s) send_all(s);
+  }
+  ASSERT_TRUE(net->WaitQuiescent(std::chrono::milliseconds(20000)));
+  size_t total = 0;
+  for (auto& sink : sinks) total += sink->total();
+  EXPECT_EQ(total, static_cast<size_t>(kSenders) * kPerSender);
+  // Quiescence is stable: nothing new shows up afterwards.
+  EXPECT_TRUE(net->WaitQuiescent(std::chrono::milliseconds(10)));
+  net->Stop();
+}
+
+TEST_P(TransportConformanceTest, SendDuringStopIsAccounted) {
+  if (!IsThreaded(GetParam())) GTEST_SKIP() << "thread transport only";
+  auto net = MakeTransport(GetParam());
+  Recorder r0, r1;
+  net->Register(0, &r0);
+  net->Register(1, &r1);
+  net->Start();
+  std::atomic<bool> stop_senders{false};
+  // Race Send against Stop: sends that hit a closed inbox must still be
+  // retired from the inflight accounting (the PR-2 shutdown-race fix),
+  // so a later WaitQuiescent returns true instead of hanging.
+  std::thread sender([&] {
+    Key k = 0;
+    while (!stop_senders.load(std::memory_order_relaxed)) {
+      net->Send(Message(0, 1, KeyedAction(k++)));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  net->Stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop_senders.store(true);
+  sender.join();
+  EXPECT_TRUE(net->WaitQuiescent(std::chrono::milliseconds(5000)))
+      << "messages dropped at shutdown leaked inflight accounting";
+}
+
+TEST_P(TransportConformanceTest, StatsCountRemoteLocalAndBytes) {
+  // Byte accounting is opt-in on the thread fast path; this test asserts
+  // the accounting itself, so switch it on.
+  auto net = MakeTransport(GetParam(), /*byte_stats=*/true);
+  Recorder r0, r1;
+  net->Register(0, &r0);
+  net->Register(1, &r1);
+  net->Start();
+  net->Send(Message(0, 1, KeyedAction(5)));
+  net->Send(Message(1, 1, KeyedAction(6)));  // self-send = local
+  ASSERT_TRUE(net->WaitQuiescent(std::chrono::milliseconds(5000)));
+  auto snap = net->stats().Snapshot();
+  EXPECT_EQ(snap.remote_messages, 1u);
+  EXPECT_EQ(snap.local_messages, 1u);
+  EXPECT_GT(snap.remote_bytes, 0u)
+      << "fast path must still report wire-model byte costs";
+  EXPECT_EQ(snap.ActionCount(ActionKind::kSearch), 2u);
+  net->Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, TransportConformanceTest,
+    ::testing::Values(TransportUnderTest::kSim,
+                      TransportUnderTest::kThreadFast,
+                      TransportUnderTest::kThreadChecked),
+    [](const ::testing::TestParamInfo<TransportUnderTest>& info) {
+      return TransportName(info.param);
+    });
+
+}  // namespace
+}  // namespace lazytree

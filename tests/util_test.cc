@@ -1,5 +1,5 @@
 // Unit tests for the utility kit: Status/StatusOr, Rng, Histogram,
-// BlockingQueue, WaitGroup.
+// BlockingQueue, MpscBatchQueue, WaitGroup.
 
 #include <gtest/gtest.h>
 
@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "src/util/histogram.h"
+#include "src/util/mpsc_queue.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 #include "src/util/statusor.h"
@@ -199,6 +200,52 @@ TEST(BlockingQueue, PopForTimesOut) {
   BlockingQueue<int> q;
   auto v = q.PopFor(std::chrono::milliseconds(10));
   EXPECT_FALSE(v.has_value());
+}
+
+TEST(MpscBatchQueue, DrainsWholeBatchInOrder) {
+  MpscBatchQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.Push(i));
+  std::vector<int> batch;
+  ASSERT_TRUE(q.PopAll(batch));
+  ASSERT_EQ(batch.size(), 10u) << "one swap drains everything pending";
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(batch[i], i);
+  EXPECT_EQ(q.Size(), 0u);
+  EXPECT_FALSE(q.TryPopAll(batch));
+}
+
+TEST(MpscBatchQueue, CloseWakesAndDrains) {
+  MpscBatchQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2)) << "closed queue rejects pushes";
+  std::vector<int> batch;
+  ASSERT_TRUE(q.PopAll(batch)) << "drains remaining items after close";
+  EXPECT_EQ(batch, std::vector<int>({1}));
+  EXPECT_FALSE(q.PopAll(batch)) << "closed and drained";
+}
+
+TEST(MpscBatchQueue, MultiProducerKeepsPerProducerOrder) {
+  MpscBatchQueue<std::pair<int, int>> q;  // (producer, seq)
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push({p, i});
+    });
+  }
+  std::vector<int> next_seq(kProducers, 0);
+  int total = 0;
+  std::vector<std::pair<int, int>> batch;
+  while (total < kProducers * kPerProducer) {
+    if (!q.PopAll(batch)) break;
+    for (auto& [p, seq] : batch) {
+      ASSERT_EQ(seq, next_seq[p]++) << "producer " << p << " reordered";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kProducers * kPerProducer);
+  for (auto& t : producers) t.join();
 }
 
 TEST(WaitGroup, WaitsForAllDone) {

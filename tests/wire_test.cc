@@ -159,42 +159,101 @@ TEST(Wire, RejectsUnknownKindAndTrailingBytes) {
   }
 }
 
-TEST(Wire, FuzzRoundTripRandomActions) {
-  Rng rng(2024);
-  for (int iter = 0; iter < 500; ++iter) {
-    Action a;
-    a.kind = static_cast<ActionKind>(
-        1 + rng.Below(static_cast<uint64_t>(ActionKind::kMaxKind) - 1));
-    a.target = NodeId{rng.Next()};
-    a.op = rng.Next();
-    a.update = rng.Next();
-    a.key = rng.Below(kKeyInfinity);
-    a.value = rng.Next();
-    a.version = rng.Next();
-    a.level = static_cast<int32_t>(rng.Below(10)) - 1;
-    a.hops = static_cast<uint32_t>(rng.Below(100));
-    a.sep = rng.Next();
-    if (rng.Chance(0.3)) {
-      a.snapshot.id = NodeId{rng.Next() | 1};
-      a.snapshot.range = {rng.Below(1000), 1000 + rng.Below(1000)};
-      size_t entries = rng.Below(20);
-      Key k = a.snapshot.range.low;
-      for (size_t i = 0; i < entries; ++i) {
-        k += 1 + rng.Below(50);
-        a.snapshot.entries.push_back({k, rng.Next()});
-      }
+Action RandomAction(Rng& rng) {
+  Action a;
+  a.kind = static_cast<ActionKind>(
+      1 + rng.Below(static_cast<uint64_t>(ActionKind::kMaxKind) - 1));
+  a.target = NodeId{rng.Next()};
+  a.op = rng.Next();
+  a.update = rng.Next();
+  a.key = rng.Below(kKeyInfinity);
+  a.value = rng.Next();
+  a.found = rng.Chance(0.5);
+  a.rc = static_cast<Action::Rc>(rng.Below(4));
+  a.version = rng.Next();
+  if (rng.Chance(0.5)) a.origin = static_cast<ProcessorId>(rng.Below(64));
+  a.level = static_cast<int32_t>(rng.Below(10)) - 1;
+  a.hops = static_cast<uint32_t>(rng.Below(100));
+  a.new_node = rng.Chance(0.5) ? NodeId{rng.Next()} : kInvalidNode;
+  a.sep = rng.Next();
+  a.link = static_cast<LinkKind>(rng.Below(3));
+  for (uint64_t i = rng.Below(6); i > 0; --i) {
+    a.members.push_back(static_cast<ProcessorId>(rng.Below(64)));
+  }
+  if (rng.Chance(0.2)) {
+    Key k = 0;
+    for (uint64_t i = rng.Below(30); i > 0; --i) {
+      k += 1 + rng.Below(1000);
+      a.range_results.push_back({k, rng.Next()});
     }
-    Message m(static_cast<ProcessorId>(rng.Below(16)),
-              static_cast<ProcessorId>(rng.Below(16)), a);
-    auto decoded = wire::DecodeMessage(wire::EncodeMessage(m));
+  }
+  if (rng.Chance(0.3)) {
+    a.snapshot.id = NodeId{rng.Next() | 1};
+    a.snapshot.level = static_cast<int32_t>(rng.Below(5));
+    a.snapshot.range = {rng.Below(1000), 1000 + rng.Below(1000)};
+    a.snapshot.version = rng.Next();
+    a.snapshot.right = NodeId{rng.Next()};
+    a.snapshot.right_low = rng.Next();
+    a.snapshot.left = NodeId{rng.Next()};
+    a.snapshot.parent = NodeId{rng.Next()};
+    for (Version& v : a.snapshot.link_versions) v = rng.Below(1000);
+    size_t entries = rng.Below(20);
+    Key k = a.snapshot.range.low;
+    for (size_t i = 0; i < entries; ++i) {
+      k += 1 + rng.Below(50);
+      a.snapshot.entries.push_back({k, rng.Next()});
+    }
+    for (uint64_t i = rng.Below(5); i > 0; --i) {
+      a.snapshot.copies.push_back(static_cast<ProcessorId>(rng.Below(64)));
+    }
+    if (rng.Chance(0.7)) {
+      a.snapshot.pc = static_cast<ProcessorId>(rng.Below(64));
+    }
+    for (uint64_t i = rng.Below(8); i > 0; --i) {
+      a.snapshot.applied_updates.push_back(rng.Next());
+    }
+  }
+  return a;
+}
+
+// The round-trip property the zero-copy transport relies on: the wire
+// format is a *bijection* on the reachable message space, so the opt-in
+// checked mode and the counting EncodedSize cannot drift from the fast
+// path. encode -> decode -> re-encode must be byte-identical, and
+// EncodedSize must equal the materialized size, for arbitrary messages.
+TEST(Wire, FuzzRoundTripReencodesByteIdentical) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 1000; ++iter) {
+    Message m;
+    m.from = rng.Chance(0.9) ? static_cast<ProcessorId>(rng.Below(16))
+                             : kInvalidProcessor;
+    m.to = rng.Chance(0.9) ? static_cast<ProcessorId>(rng.Below(16))
+                           : kInvalidProcessor;
+    m.seq = rng.Next();
+    for (uint64_t i = 1 + rng.Below(4); i > 0; --i) {
+      m.actions.push_back(RandomAction(rng));
+    }
+
+    const std::vector<uint8_t> bytes = wire::EncodeMessage(m);
+    EXPECT_EQ(wire::EncodedSize(m), bytes.size()) << "iter " << iter;
+
+    auto decoded = wire::DecodeMessage(bytes);
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-    ExpectActionsEqual(decoded->actions[0], a);
+    ASSERT_EQ(decoded->actions.size(), m.actions.size());
+    for (size_t i = 0; i < m.actions.size(); ++i) {
+      ExpectActionsEqual(decoded->actions[i], m.actions[i]);
+    }
+
+    const std::vector<uint8_t> reencoded = wire::EncodeMessage(*decoded);
+    ASSERT_EQ(reencoded, bytes) << "re-encode not byte-identical, iter "
+                                << iter;
   }
 }
 
 TEST(Wire, EncodedSizeMatches) {
   Message m(1, 2, FullActionFixture());
   EXPECT_EQ(wire::EncodedSize(m), wire::EncodeMessage(m).size());
+  EXPECT_EQ(wire::EncodedSize(Message{}), wire::EncodeMessage(Message{}).size());
 }
 
 }  // namespace
