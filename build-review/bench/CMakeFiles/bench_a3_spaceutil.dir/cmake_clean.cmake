@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_spaceutil.dir/bench_a3_spaceutil.cc.o"
+  "CMakeFiles/bench_a3_spaceutil.dir/bench_a3_spaceutil.cc.o.d"
+  "bench_a3_spaceutil"
+  "bench_a3_spaceutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_spaceutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

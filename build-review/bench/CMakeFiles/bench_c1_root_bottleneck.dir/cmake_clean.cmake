@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_root_bottleneck.dir/bench_c1_root_bottleneck.cc.o"
+  "CMakeFiles/bench_c1_root_bottleneck.dir/bench_c1_root_bottleneck.cc.o.d"
+  "bench_c1_root_bottleneck"
+  "bench_c1_root_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_root_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

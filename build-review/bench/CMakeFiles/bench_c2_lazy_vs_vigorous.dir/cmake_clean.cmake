@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_lazy_vs_vigorous.dir/bench_c2_lazy_vs_vigorous.cc.o"
+  "CMakeFiles/bench_c2_lazy_vs_vigorous.dir/bench_c2_lazy_vs_vigorous.cc.o.d"
+  "bench_c2_lazy_vs_vigorous"
+  "bench_c2_lazy_vs_vigorous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_lazy_vs_vigorous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_concurrency.dir/bench_c3_concurrency.cc.o"
+  "CMakeFiles/bench_c3_concurrency.dir/bench_c3_concurrency.cc.o.d"
+  "bench_c3_concurrency"
+  "bench_c3_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_piggyback.dir/bench_c4_piggyback.cc.o"
+  "CMakeFiles/bench_c4_piggyback.dir/bench_c4_piggyback.cc.o.d"
+  "bench_c4_piggyback"
+  "bench_c4_piggyback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_piggyback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_balance.dir/bench_c5_balance.cc.o"
+  "CMakeFiles/bench_c5_balance.dir/bench_c5_balance.cc.o.d"
+  "bench_c5_balance"
+  "bench_c5_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_blink.dir/bench_c6_blink.cc.o"
+  "CMakeFiles/bench_c6_blink.dir/bench_c6_blink.cc.o.d"
+  "bench_c6_blink"
+  "bench_c6_blink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_blink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

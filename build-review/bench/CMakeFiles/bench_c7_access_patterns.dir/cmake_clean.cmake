@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c7_access_patterns.dir/bench_c7_access_patterns.cc.o"
+  "CMakeFiles/bench_c7_access_patterns.dir/bench_c7_access_patterns.cc.o.d"
+  "bench_c7_access_patterns"
+  "bench_c7_access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c7_access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

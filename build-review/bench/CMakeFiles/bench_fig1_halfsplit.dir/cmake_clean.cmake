@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_halfsplit.dir/bench_fig1_halfsplit.cc.o"
+  "CMakeFiles/bench_fig1_halfsplit.dir/bench_fig1_halfsplit.cc.o.d"
+  "bench_fig1_halfsplit"
+  "bench_fig1_halfsplit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_halfsplit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_convergence.cc" "bench/CMakeFiles/bench_fig3_convergence.dir/bench_fig3_convergence.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_convergence.dir/bench_fig3_convergence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lazytree_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_blink.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_protocol.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_server.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_node.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_history.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_msg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

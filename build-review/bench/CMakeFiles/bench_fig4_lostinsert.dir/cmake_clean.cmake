@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lostinsert.dir/bench_fig4_lostinsert.cc.o"
+  "CMakeFiles/bench_fig4_lostinsert.dir/bench_fig4_lostinsert.cc.o.d"
+  "bench_fig4_lostinsert"
+  "bench_fig4_lostinsert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lostinsert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_splitcost.dir/bench_fig5_splitcost.cc.o"
+  "CMakeFiles/bench_fig5_splitcost.dir/bench_fig5_splitcost.cc.o.d"
+  "bench_fig5_splitcost"
+  "bench_fig5_splitcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_splitcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

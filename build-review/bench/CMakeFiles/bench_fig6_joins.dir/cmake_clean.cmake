@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_joins.dir/bench_fig6_joins.cc.o"
+  "CMakeFiles/bench_fig6_joins.dir/bench_fig6_joins.cc.o.d"
+  "bench_fig6_joins"
+  "bench_fig6_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transport.dir/bench_transport.cc.o"
+  "CMakeFiles/bench_transport.dir/bench_transport.cc.o.d"
+  "bench_transport"
+  "bench_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(transport_bench_smoke "/root/repo/build-review/bench/bench_transport" "--smoke")
+set_tests_properties(transport_bench_smoke PROPERTIES  LABELS "bench" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")

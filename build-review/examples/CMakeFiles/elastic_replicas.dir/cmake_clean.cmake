@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_replicas.dir/elastic_replicas.cpp.o"
+  "CMakeFiles/elastic_replicas.dir/elastic_replicas.cpp.o.d"
+  "elastic_replicas"
+  "elastic_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

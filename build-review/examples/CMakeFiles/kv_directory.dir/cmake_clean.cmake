@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_directory.dir/kv_directory.cpp.o"
+  "CMakeFiles/kv_directory.dir/kv_directory.cpp.o.d"
+  "kv_directory"
+  "kv_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancing.dir/load_balancing.cpp.o"
+  "CMakeFiles/load_balancing.dir/load_balancing.cpp.o.d"
+  "load_balancing"
+  "load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_tree.dir/visualize_tree.cpp.o"
+  "CMakeFiles/visualize_tree.dir/visualize_tree.cpp.o.d"
+  "visualize_tree"
+  "visualize_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blink/blink_tree.cc" "src/CMakeFiles/lazytree_blink.dir/blink/blink_tree.cc.o" "gcc" "src/CMakeFiles/lazytree_blink.dir/blink/blink_tree.cc.o.d"
+  "/root/repo/src/blink/lock_tree.cc" "src/CMakeFiles/lazytree_blink.dir/blink/lock_tree.cc.o" "gcc" "src/CMakeFiles/lazytree_blink.dir/blink/lock_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lazytree_msg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

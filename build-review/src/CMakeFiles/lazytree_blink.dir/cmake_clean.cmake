@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_blink.dir/blink/blink_tree.cc.o"
+  "CMakeFiles/lazytree_blink.dir/blink/blink_tree.cc.o.d"
+  "CMakeFiles/lazytree_blink.dir/blink/lock_tree.cc.o"
+  "CMakeFiles/lazytree_blink.dir/blink/lock_tree.cc.o.d"
+  "liblazytree_blink.a"
+  "liblazytree_blink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_blink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_core.dir/core/balancer.cc.o"
+  "CMakeFiles/lazytree_core.dir/core/balancer.cc.o.d"
+  "CMakeFiles/lazytree_core.dir/core/cluster.cc.o"
+  "CMakeFiles/lazytree_core.dir/core/cluster.cc.o.d"
+  "CMakeFiles/lazytree_core.dir/core/dbtree.cc.o"
+  "CMakeFiles/lazytree_core.dir/core/dbtree.cc.o.d"
+  "CMakeFiles/lazytree_core.dir/core/inspect.cc.o"
+  "CMakeFiles/lazytree_core.dir/core/inspect.cc.o.d"
+  "liblazytree_core.a"
+  "liblazytree_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

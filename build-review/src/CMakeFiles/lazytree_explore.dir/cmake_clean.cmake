@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_explore.dir/sim/explorer_main.cc.o"
+  "CMakeFiles/lazytree_explore.dir/sim/explorer_main.cc.o.d"
+  "lazytree_explore"
+  "lazytree_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_history.dir/history/checker.cc.o"
+  "CMakeFiles/lazytree_history.dir/history/checker.cc.o.d"
+  "CMakeFiles/lazytree_history.dir/history/history.cc.o"
+  "CMakeFiles/lazytree_history.dir/history/history.cc.o.d"
+  "liblazytree_history.a"
+  "liblazytree_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/action.cc" "src/CMakeFiles/lazytree_msg.dir/msg/action.cc.o" "gcc" "src/CMakeFiles/lazytree_msg.dir/msg/action.cc.o.d"
+  "/root/repo/src/msg/message.cc" "src/CMakeFiles/lazytree_msg.dir/msg/message.cc.o" "gcc" "src/CMakeFiles/lazytree_msg.dir/msg/message.cc.o.d"
+  "/root/repo/src/msg/wire.cc" "src/CMakeFiles/lazytree_msg.dir/msg/wire.cc.o" "gcc" "src/CMakeFiles/lazytree_msg.dir/msg/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lazytree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

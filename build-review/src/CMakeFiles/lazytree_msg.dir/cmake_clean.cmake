@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_msg.dir/msg/action.cc.o"
+  "CMakeFiles/lazytree_msg.dir/msg/action.cc.o.d"
+  "CMakeFiles/lazytree_msg.dir/msg/message.cc.o"
+  "CMakeFiles/lazytree_msg.dir/msg/message.cc.o.d"
+  "CMakeFiles/lazytree_msg.dir/msg/wire.cc.o"
+  "CMakeFiles/lazytree_msg.dir/msg/wire.cc.o.d"
+  "liblazytree_msg.a"
+  "liblazytree_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/lazytree_net.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/lazytree_net.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/piggyback.cc" "src/CMakeFiles/lazytree_net.dir/net/piggyback.cc.o" "gcc" "src/CMakeFiles/lazytree_net.dir/net/piggyback.cc.o.d"
+  "/root/repo/src/net/sim_network.cc" "src/CMakeFiles/lazytree_net.dir/net/sim_network.cc.o" "gcc" "src/CMakeFiles/lazytree_net.dir/net/sim_network.cc.o.d"
+  "/root/repo/src/net/stats.cc" "src/CMakeFiles/lazytree_net.dir/net/stats.cc.o" "gcc" "src/CMakeFiles/lazytree_net.dir/net/stats.cc.o.d"
+  "/root/repo/src/net/thread_network.cc" "src/CMakeFiles/lazytree_net.dir/net/thread_network.cc.o" "gcc" "src/CMakeFiles/lazytree_net.dir/net/thread_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lazytree_msg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_net.dir/net/channel.cc.o"
+  "CMakeFiles/lazytree_net.dir/net/channel.cc.o.d"
+  "CMakeFiles/lazytree_net.dir/net/piggyback.cc.o"
+  "CMakeFiles/lazytree_net.dir/net/piggyback.cc.o.d"
+  "CMakeFiles/lazytree_net.dir/net/sim_network.cc.o"
+  "CMakeFiles/lazytree_net.dir/net/sim_network.cc.o.d"
+  "CMakeFiles/lazytree_net.dir/net/stats.cc.o"
+  "CMakeFiles/lazytree_net.dir/net/stats.cc.o.d"
+  "CMakeFiles/lazytree_net.dir/net/thread_network.cc.o"
+  "CMakeFiles/lazytree_net.dir/net/thread_network.cc.o.d"
+  "liblazytree_net.a"
+  "liblazytree_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

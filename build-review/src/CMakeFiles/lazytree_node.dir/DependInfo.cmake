@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/node.cc" "src/CMakeFiles/lazytree_node.dir/node/node.cc.o" "gcc" "src/CMakeFiles/lazytree_node.dir/node/node.cc.o.d"
+  "/root/repo/src/node/node_store.cc" "src/CMakeFiles/lazytree_node.dir/node/node_store.cc.o" "gcc" "src/CMakeFiles/lazytree_node.dir/node/node_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lazytree_msg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_history.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

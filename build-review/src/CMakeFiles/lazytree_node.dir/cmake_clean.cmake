@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_node.dir/node/node.cc.o"
+  "CMakeFiles/lazytree_node.dir/node/node.cc.o.d"
+  "CMakeFiles/lazytree_node.dir/node/node_store.cc.o"
+  "CMakeFiles/lazytree_node.dir/node/node_store.cc.o.d"
+  "liblazytree_node.a"
+  "liblazytree_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_oracle.dir/oracle/oracle.cc.o"
+  "CMakeFiles/lazytree_oracle.dir/oracle/oracle.cc.o.d"
+  "liblazytree_oracle.a"
+  "liblazytree_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/base.cc" "src/CMakeFiles/lazytree_protocol.dir/protocol/base.cc.o" "gcc" "src/CMakeFiles/lazytree_protocol.dir/protocol/base.cc.o.d"
+  "/root/repo/src/protocol/fixed.cc" "src/CMakeFiles/lazytree_protocol.dir/protocol/fixed.cc.o" "gcc" "src/CMakeFiles/lazytree_protocol.dir/protocol/fixed.cc.o.d"
+  "/root/repo/src/protocol/mobile.cc" "src/CMakeFiles/lazytree_protocol.dir/protocol/mobile.cc.o" "gcc" "src/CMakeFiles/lazytree_protocol.dir/protocol/mobile.cc.o.d"
+  "/root/repo/src/protocol/naive.cc" "src/CMakeFiles/lazytree_protocol.dir/protocol/naive.cc.o" "gcc" "src/CMakeFiles/lazytree_protocol.dir/protocol/naive.cc.o.d"
+  "/root/repo/src/protocol/semisync_split.cc" "src/CMakeFiles/lazytree_protocol.dir/protocol/semisync_split.cc.o" "gcc" "src/CMakeFiles/lazytree_protocol.dir/protocol/semisync_split.cc.o.d"
+  "/root/repo/src/protocol/sync_split.cc" "src/CMakeFiles/lazytree_protocol.dir/protocol/sync_split.cc.o" "gcc" "src/CMakeFiles/lazytree_protocol.dir/protocol/sync_split.cc.o.d"
+  "/root/repo/src/protocol/varcopies.cc" "src/CMakeFiles/lazytree_protocol.dir/protocol/varcopies.cc.o" "gcc" "src/CMakeFiles/lazytree_protocol.dir/protocol/varcopies.cc.o.d"
+  "/root/repo/src/protocol/vigorous.cc" "src/CMakeFiles/lazytree_protocol.dir/protocol/vigorous.cc.o" "gcc" "src/CMakeFiles/lazytree_protocol.dir/protocol/vigorous.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lazytree_server.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_node.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_history.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_msg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

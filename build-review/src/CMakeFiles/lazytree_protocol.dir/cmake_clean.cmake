@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_protocol.dir/protocol/base.cc.o"
+  "CMakeFiles/lazytree_protocol.dir/protocol/base.cc.o.d"
+  "CMakeFiles/lazytree_protocol.dir/protocol/fixed.cc.o"
+  "CMakeFiles/lazytree_protocol.dir/protocol/fixed.cc.o.d"
+  "CMakeFiles/lazytree_protocol.dir/protocol/mobile.cc.o"
+  "CMakeFiles/lazytree_protocol.dir/protocol/mobile.cc.o.d"
+  "CMakeFiles/lazytree_protocol.dir/protocol/naive.cc.o"
+  "CMakeFiles/lazytree_protocol.dir/protocol/naive.cc.o.d"
+  "CMakeFiles/lazytree_protocol.dir/protocol/semisync_split.cc.o"
+  "CMakeFiles/lazytree_protocol.dir/protocol/semisync_split.cc.o.d"
+  "CMakeFiles/lazytree_protocol.dir/protocol/sync_split.cc.o"
+  "CMakeFiles/lazytree_protocol.dir/protocol/sync_split.cc.o.d"
+  "CMakeFiles/lazytree_protocol.dir/protocol/varcopies.cc.o"
+  "CMakeFiles/lazytree_protocol.dir/protocol/varcopies.cc.o.d"
+  "CMakeFiles/lazytree_protocol.dir/protocol/vigorous.cc.o"
+  "CMakeFiles/lazytree_protocol.dir/protocol/vigorous.cc.o.d"
+  "liblazytree_protocol.a"
+  "liblazytree_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

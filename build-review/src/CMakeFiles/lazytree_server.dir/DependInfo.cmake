@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/aas.cc" "src/CMakeFiles/lazytree_server.dir/server/aas.cc.o" "gcc" "src/CMakeFiles/lazytree_server.dir/server/aas.cc.o.d"
+  "/root/repo/src/server/op_tracker.cc" "src/CMakeFiles/lazytree_server.dir/server/op_tracker.cc.o" "gcc" "src/CMakeFiles/lazytree_server.dir/server/op_tracker.cc.o.d"
+  "/root/repo/src/server/processor.cc" "src/CMakeFiles/lazytree_server.dir/server/processor.cc.o" "gcc" "src/CMakeFiles/lazytree_server.dir/server/processor.cc.o.d"
+  "/root/repo/src/server/queue_manager.cc" "src/CMakeFiles/lazytree_server.dir/server/queue_manager.cc.o" "gcc" "src/CMakeFiles/lazytree_server.dir/server/queue_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lazytree_node.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_history.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_msg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_server.dir/server/aas.cc.o"
+  "CMakeFiles/lazytree_server.dir/server/aas.cc.o.d"
+  "CMakeFiles/lazytree_server.dir/server/op_tracker.cc.o"
+  "CMakeFiles/lazytree_server.dir/server/op_tracker.cc.o.d"
+  "CMakeFiles/lazytree_server.dir/server/processor.cc.o"
+  "CMakeFiles/lazytree_server.dir/server/processor.cc.o.d"
+  "CMakeFiles/lazytree_server.dir/server/queue_manager.cc.o"
+  "CMakeFiles/lazytree_server.dir/server/queue_manager.cc.o.d"
+  "liblazytree_server.a"
+  "liblazytree_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

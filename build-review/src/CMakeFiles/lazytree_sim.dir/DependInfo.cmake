@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/explorer.cc" "src/CMakeFiles/lazytree_sim.dir/sim/explorer.cc.o" "gcc" "src/CMakeFiles/lazytree_sim.dir/sim/explorer.cc.o.d"
+  "/root/repo/src/sim/minimize.cc" "src/CMakeFiles/lazytree_sim.dir/sim/minimize.cc.o" "gcc" "src/CMakeFiles/lazytree_sim.dir/sim/minimize.cc.o.d"
+  "/root/repo/src/sim/strategy.cc" "src/CMakeFiles/lazytree_sim.dir/sim/strategy.cc.o" "gcc" "src/CMakeFiles/lazytree_sim.dir/sim/strategy.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/lazytree_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/lazytree_sim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/lazytree_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_oracle.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_protocol.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_server.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_node.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_history.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_msg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/lazytree_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_sim.dir/sim/explorer.cc.o"
+  "CMakeFiles/lazytree_sim.dir/sim/explorer.cc.o.d"
+  "CMakeFiles/lazytree_sim.dir/sim/minimize.cc.o"
+  "CMakeFiles/lazytree_sim.dir/sim/minimize.cc.o.d"
+  "CMakeFiles/lazytree_sim.dir/sim/strategy.cc.o"
+  "CMakeFiles/lazytree_sim.dir/sim/strategy.cc.o.d"
+  "CMakeFiles/lazytree_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/lazytree_sim.dir/sim/trace.cc.o.d"
+  "liblazytree_sim.a"
+  "liblazytree_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

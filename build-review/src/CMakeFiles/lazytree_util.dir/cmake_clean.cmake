@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_util.dir/util/histogram.cc.o"
+  "CMakeFiles/lazytree_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/lazytree_util.dir/util/logging.cc.o"
+  "CMakeFiles/lazytree_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/lazytree_util.dir/util/threading.cc.o"
+  "CMakeFiles/lazytree_util.dir/util/threading.cc.o.d"
+  "liblazytree_util.a"
+  "liblazytree_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

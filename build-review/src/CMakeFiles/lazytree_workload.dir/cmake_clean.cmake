@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazytree_workload.dir/workload/distributions.cc.o"
+  "CMakeFiles/lazytree_workload.dir/workload/distributions.cc.o.d"
+  "CMakeFiles/lazytree_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/lazytree_workload.dir/workload/generator.cc.o.d"
+  "liblazytree_workload.a"
+  "liblazytree_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazytree_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

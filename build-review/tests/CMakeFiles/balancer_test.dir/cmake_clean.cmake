@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balancer_test.dir/balancer_test.cc.o"
+  "CMakeFiles/balancer_test.dir/balancer_test.cc.o.d"
+  "balancer_test"
+  "balancer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blink_tree_test.dir/blink_tree_test.cc.o"
+  "CMakeFiles/blink_tree_test.dir/blink_tree_test.cc.o.d"
+  "blink_tree_test"
+  "blink_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blink_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_api_test.dir/cluster_api_test.cc.o"
+  "CMakeFiles/cluster_api_test.dir/cluster_api_test.cc.o.d"
+  "cluster_api_test"
+  "cluster_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

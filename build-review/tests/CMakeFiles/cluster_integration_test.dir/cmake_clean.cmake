@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_integration_test.dir/cluster_integration_test.cc.o"
+  "CMakeFiles/cluster_integration_test.dir/cluster_integration_test.cc.o.d"
+  "cluster_integration_test"
+  "cluster_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

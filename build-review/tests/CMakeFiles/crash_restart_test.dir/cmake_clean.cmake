@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_restart_test.dir/crash_restart_test.cc.o"
+  "CMakeFiles/crash_restart_test.dir/crash_restart_test.cc.o.d"
+  "crash_restart_test"
+  "crash_restart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_restart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

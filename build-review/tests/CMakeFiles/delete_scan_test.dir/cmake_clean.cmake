@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delete_scan_test.dir/delete_scan_test.cc.o"
+  "CMakeFiles/delete_scan_test.dir/delete_scan_test.cc.o.d"
+  "delete_scan_test"
+  "delete_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delete_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_ablation_test.dir/fault_ablation_test.cc.o"
+  "CMakeFiles/fault_ablation_test.dir/fault_ablation_test.cc.o.d"
+  "fault_ablation_test"
+  "fault_ablation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_ablation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_test.dir/inspect_test.cc.o"
+  "CMakeFiles/inspect_test.dir/inspect_test.cc.o.d"
+  "inspect_test"
+  "inspect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_transport_test.dir/thread_transport_test.cc.o"
+  "CMakeFiles/thread_transport_test.dir/thread_transport_test.cc.o.d"
+  "thread_transport_test"
+  "thread_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_conformance_test.dir/transport_conformance_test.cc.o"
+  "CMakeFiles/transport_conformance_test.dir/transport_conformance_test.cc.o.d"
+  "transport_conformance_test"
+  "transport_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

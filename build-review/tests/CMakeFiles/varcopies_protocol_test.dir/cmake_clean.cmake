@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/varcopies_protocol_test.dir/varcopies_protocol_test.cc.o"
+  "CMakeFiles/varcopies_protocol_test.dir/varcopies_protocol_test.cc.o.d"
+  "varcopies_protocol_test"
+  "varcopies_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/varcopies_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
