@@ -57,7 +57,7 @@ BlinkTree::BNode* BlinkTree::DescendToLeaf(Key key,
         auto it = std::upper_bound(cur->keys.begin(), cur->keys.end(), key);
         LAZYTREE_CHECK(it != cur->keys.begin())
             << "blink descent below first separator";
-        next = reinterpret_cast<BNode*>(
+        next = ChildPtr(
             cur->payloads[static_cast<size_t>(it - cur->keys.begin()) - 1]);
       }
     }
@@ -201,7 +201,7 @@ void BlinkTree::InsertSeparator(std::vector<BNode*>& path,
           } else {
             auto it = std::upper_bound(node->keys.begin(), node->keys.end(),
                                        sep);
-            next = reinterpret_cast<BNode*>(
+            next = ChildPtr(
                 node->payloads[static_cast<size_t>(
                                    it - node->keys.begin()) -
                                1]);
@@ -218,7 +218,7 @@ void BlinkTree::InsertSeparator(std::vector<BNode*>& path,
       node = next;
       lock = std::unique_lock<std::shared_mutex>(node->mu);
     }
-    NodeInsert(*node, sep, reinterpret_cast<uint64_t>(sibling));
+    NodeInsert(*node, sep, ChildPayload(sibling));
     if (node->keys.size() <= max_entries_) return;
     BNode* upper = SplitLocked(*node);
     Key upper_sep = upper->low;
@@ -242,7 +242,7 @@ void BlinkTree::GrowRoot(int32_t needed_level) {
   // pending separator inserts will land in the new root.
   BNode* new_root = NewNode(old_root->level + 1);
   new_root->keys = {0};
-  new_root->payloads = {reinterpret_cast<uint64_t>(old_root)};
+  new_root->payloads = {ChildPayload(old_root)};
   root_.store(new_root, std::memory_order_release);
 }
 
@@ -261,7 +261,7 @@ size_t BlinkTree::CheckStructure() const {
       if (n->level > 0) {
         if (n->keys.empty() || n->keys.front() != n->low) ++violations;
         for (uint64_t p : n->payloads) {
-          if (reinterpret_cast<BNode*>(p)->level != n->level - 1) {
+          if (ChildPtr(p)->level != n->level - 1) {
             ++violations;
           }
         }
@@ -272,7 +272,7 @@ size_t BlinkTree::CheckStructure() const {
     if (expect_low != kKeyInfinity) ++violations;
     level_start = level_start->level == 0
                       ? nullptr
-                      : reinterpret_cast<BNode*>(level_start->payloads[0]);
+                      : ChildPtr(level_start->payloads[0]);
   }
   return violations;
 }

@@ -67,6 +67,21 @@ class BlinkTree {
     bool Contains(Key k) const { return k >= low && k < high; }
   };
 
+  // Interior payload <-> child pointer conversion, confined to these two
+  // audited helpers (the only reinterpret_casts in the tree). Interior
+  // payloads reuse the leaf's uint64_t payload slot to store the child
+  // BNode*. Safe because nodes come from the arena and are never freed
+  // while the tree lives, and uintptr_t round-trips through uint64_t on
+  // every supported platform (checked below).
+  static BNode* ChildPtr(uint64_t payload) {
+    static_assert(sizeof(uintptr_t) <= sizeof(uint64_t),
+                  "BNode* must round-trip through a uint64_t payload");
+    return reinterpret_cast<BNode*>(static_cast<uintptr_t>(payload));
+  }
+  static uint64_t ChildPayload(const BNode* child) {
+    return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(child));
+  }
+
   BNode* NewNode(int32_t level);
 
   /// Descends from the current root to the leaf covering `key`, stashing

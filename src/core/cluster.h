@@ -108,6 +108,10 @@ class Cluster {
  private:
   void Bootstrap();
 
+  /// The always-on §3.1 hook: runs CheckAll at a quiescent point when
+  /// options_.check_histories is set, dying on the first violation.
+  void MaybeCheckHistories();
+
   ClusterOptions options_;
   history::HistoryLog history_;
   std::unique_ptr<net::Network> base_network_;
@@ -116,6 +120,9 @@ class Cluster {
   net::SimNetwork* sim_ = nullptr;
   std::vector<std::unique_ptr<Processor>> processors_;
   bool started_ = false;
+  /// History size at the last quiescence check (skip re-verifying an
+  /// unchanged log when Settle() is called back-to-back).
+  size_t checked_history_records_ = 0;
 };
 
 }  // namespace lazytree

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "src/history/checker.h"
 #include "src/server/processor.h"
 
 namespace lazytree {
@@ -46,6 +47,20 @@ struct ClusterOptions {
   /// Per-destination relayed-update buffer for piggybacking (§1.1).
   /// 0 disables piggybacking.
   size_t piggyback_window = 0;
+  /// Run the §3.1 history checks (complete/compatible/ordered) at every
+  /// quiescent point Settle() reaches, aborting on the first violation so
+  /// the failing schedule is caught at the earliest moment it is
+  /// observable — not only when a test remembers to call
+  /// VerifyHistories(). Requires tree.track_history (the hook is a no-op
+  /// without it) and is skipped while a processor is crashed (§3.1 is a
+  /// quiescence property of the recovered system). Turn off for
+  /// deliberately broken configurations — the kNaive strawman, fault
+  /// injection, schedule exploration — that want to *observe* violations
+  /// instead of dying on them.
+  bool check_histories = true;
+  /// Policy for those checks and for VerifyHistories(): duplicate-
+  /// application tolerance and the per-check violation report cap.
+  history::CheckOptions history_check;
   /// Node capacity, history tracking, replication factor, upserts.
   TreeConfig tree;
 };

@@ -43,30 +43,6 @@ const char* ActionKindName(ActionKind kind) {
   return "?";
 }
 
-bool IsUpdateKind(ActionKind kind) {
-  switch (kind) {
-    case ActionKind::kInsert:
-    case ActionKind::kRelayedInsert:
-    case ActionKind::kDelete:
-    case ActionKind::kRelayedDelete:
-    case ActionKind::kSplitEnd:
-    case ActionKind::kRelayedSplit:
-    case ActionKind::kLinkChange:
-    case ActionKind::kRelayedLinkChange:
-    case ActionKind::kMigrateNode:
-    case ActionKind::kJoin:
-    case ActionKind::kRelayedJoin:
-    case ActionKind::kUnjoin:
-    case ActionKind::kRelayedUnjoin:
-    case ActionKind::kVigorousApply:
-    case ActionKind::kVigorousApplyDelete:
-    case ActionKind::kVigorousApplySplit:
-      return true;
-    default:
-      return false;
-  }
-}
-
 std::string Action::ToString() const {
   std::ostringstream os;
   os << ActionKindName(kind) << "(" << target.ToString();

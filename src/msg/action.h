@@ -103,7 +103,149 @@ const char* ActionKindName(ActionKind kind);
 
 /// True for kinds that modify node state (the paper's update actions);
 /// non-update actions need not execute at every copy (§3.1).
-bool IsUpdateKind(ActionKind kind);
+constexpr bool IsUpdateKind(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kInsert:
+    case ActionKind::kRelayedInsert:
+    case ActionKind::kDelete:
+    case ActionKind::kRelayedDelete:
+    case ActionKind::kSplitEnd:
+    case ActionKind::kRelayedSplit:
+    case ActionKind::kLinkChange:
+    case ActionKind::kRelayedLinkChange:
+    case ActionKind::kMigrateNode:
+    case ActionKind::kJoin:
+    case ActionKind::kRelayedJoin:
+    case ActionKind::kUnjoin:
+    case ActionKind::kRelayedUnjoin:
+    case ActionKind::kVigorousApply:
+    case ActionKind::kVigorousApplyDelete:
+    case ActionKind::kVigorousApplySplit:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// --- action commutativity (§3.1) -----------------------------------------
+//
+// The paper's correctness argument partitions update actions into classes:
+// lazy updates (relayed inserts / deletes / splits) commute — applying them
+// at a copy in either order yields the same final value, which is exactly
+// what makes them safe to delay, batch, and piggyback (§1.1) — while the
+// ordered-action classes (link-changes; membership registrations, which
+// include joins, unjoins, and migrations; the vigorous baseline's
+// lock-step applies) must be applied in version order at every copy and
+// therefore do not commute among themselves. CheckOrdered (history/checker)
+// enforces the run-time half of this contract; the table below is the
+// compile-time half, and lazytree_lint verifies the switch stays total
+// when kinds are added.
+
+/// Commutativity class of an action kind.
+enum class OrderClass : uint8_t {
+  kNonUpdate,   ///< navigation/ack/completion: no node mutation, vacuous
+  kLazy,        ///< lazy updates: commute freely (§3.1)
+  kLinkOrder,   ///< link-changes: version-ordered (§4.2 gating)
+  kMembership,  ///< join/unjoin/migrate: version-ordered registrations
+  kLockStep,    ///< vigorous applies: serialized externally by locks
+};
+
+constexpr OrderClass OrderClassOf(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kInsert:
+    case ActionKind::kRelayedInsert:
+    case ActionKind::kDelete:
+    case ActionKind::kRelayedDelete:
+    case ActionKind::kSplitEnd:
+    case ActionKind::kRelayedSplit:
+      return OrderClass::kLazy;
+    case ActionKind::kLinkChange:
+    case ActionKind::kRelayedLinkChange:
+      return OrderClass::kLinkOrder;
+    case ActionKind::kMigrateNode:
+    case ActionKind::kJoin:
+    case ActionKind::kRelayedJoin:
+    case ActionKind::kUnjoin:
+    case ActionKind::kRelayedUnjoin:
+      return OrderClass::kMembership;
+    case ActionKind::kVigorousApply:
+    case ActionKind::kVigorousApplyDelete:
+    case ActionKind::kVigorousApplySplit:
+      return OrderClass::kLockStep;
+    case ActionKind::kInvalid:
+    case ActionKind::kSearch:
+    case ActionKind::kInsertOp:
+    case ActionKind::kDeleteOp:
+    case ActionKind::kScanOp:
+    case ActionKind::kReturnValue:
+    case ActionKind::kSplitStart:
+    case ActionKind::kSplitAck:
+    case ActionKind::kCreateNode:
+    case ActionKind::kRootHint:
+    case ActionKind::kMigrateAck:
+    case ActionKind::kJoinGrant:
+    case ActionKind::kVigorousLock:
+    case ActionKind::kVigorousLockAck:
+    case ActionKind::kVigorousApplyAck:
+    case ActionKind::kVigorousUnlock:
+    case ActionKind::kMaxKind:
+      return OrderClass::kNonUpdate;
+  }
+  return OrderClass::kNonUpdate;  // unreachable; keeps -Wreturn-type quiet
+}
+
+/// True when applying `a` then `b` at one copy equals applying `b` then
+/// `a`. Total over ActionKind x ActionKind and symmetric by construction
+/// (both facts are static_asserted below).
+constexpr bool ActionsCommute(ActionKind a, ActionKind b) {
+  const OrderClass ca = OrderClassOf(a);
+  const OrderClass cb = OrderClassOf(b);
+  // Non-updates mutate nothing: vacuously commute with everything.
+  if (ca == OrderClass::kNonUpdate || cb == OrderClass::kNonUpdate) {
+    return true;
+  }
+  // Lazy updates commute with every update (the paper's core property).
+  if (ca == OrderClass::kLazy || cb == OrderClass::kLazy) return true;
+  // Two ordered actions never commute — same class shares a version
+  // sequence, and link/membership classes share the node's version
+  // counter (§4.2: migration bumps it for both).
+  return false;
+}
+
+namespace action_internal {
+
+/// Compile-time audit of the commutativity relation: every kind (including
+/// future additions, up to kMaxKind) must classify consistently with
+/// IsUpdateKind, and the relation must be symmetric and reflexive-sane.
+constexpr bool CommutativityTableIsSound() {
+  constexpr int n = static_cast<int>(ActionKind::kMaxKind);
+  for (int i = 0; i <= n; ++i) {
+    const ActionKind a = static_cast<ActionKind>(i);
+    // Totality + consistency: updates have an ordered-or-lazy class,
+    // non-updates classify kNonUpdate.
+    if ((OrderClassOf(a) != OrderClass::kNonUpdate) != IsUpdateKind(a)) {
+      return false;
+    }
+    for (int j = 0; j <= n; ++j) {
+      const ActionKind b = static_cast<ActionKind>(j);
+      // Symmetry.
+      if (ActionsCommute(a, b) != ActionsCommute(b, a)) return false;
+    }
+    // An ordered action cannot commute with itself.
+    if (IsUpdateKind(a) && OrderClassOf(a) != OrderClass::kLazy &&
+        ActionsCommute(a, a)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace action_internal
+
+static_assert(action_internal::CommutativityTableIsSound(),
+              "action commutativity table must be total, symmetric, and "
+              "consistent with IsUpdateKind — update OrderClassOf when "
+              "adding an ActionKind");
 
 /// Which link a kLinkChange re-points.
 enum class LinkKind : uint8_t { kRight = 0, kLeft = 1, kParent = 2 };

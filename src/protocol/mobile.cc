@@ -1,5 +1,7 @@
 #include "src/protocol/mobile.h"
 
+#include <utility>
+
 #include "src/util/logging.h"
 
 namespace lazytree {
@@ -89,7 +91,7 @@ void MobileProtocol::HandleMissing(Action a) {
 
 size_t MobileProtocol::LocalLeafCount() const {
   size_t count = 0;
-  const_cast<Processor&>(p_).store().ForEach([&](const Node& n) {
+  std::as_const(p_).store().ForEach([&](const Node& n) {
     if (n.is_leaf()) ++count;
   });
   return count;

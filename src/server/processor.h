@@ -63,6 +63,7 @@ class Processor : public net::Receiver {
   uint32_t cluster_size() const { return cluster_size_; }
   const TreeConfig& config() const { return config_; }
   NodeStore& store() { return store_; }
+  const NodeStore& store() const { return store_; }
   QueueManager& out() { return out_; }
   AasRegistry& aas() { return aas_; }
   OpTracker& ops() { return ops_; }

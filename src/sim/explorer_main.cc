@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -204,6 +205,56 @@ std::string ReproCommand(const CliOptions& cli, const EpisodeConfig& config,
   return cmd;
 }
 
+/// Writes the §3.1 violation report that rides alongside a failure trace:
+/// the classified violation list plus the exact replay command, so a
+/// failure can be triaged without re-running the episode.
+void WriteFailureReport(const std::string& report_path,
+                        const EpisodeConfig& config,
+                        const EpisodeResult& result,
+                        const std::string& trace_path,
+                        const std::string& min_path,
+                        const std::string& repro) {
+  std::ofstream out(report_path);
+  if (!out) {
+    std::printf("  report save failed: %s\n", report_path.c_str());
+    return;
+  }
+  out << "lazytree schedule-explorer failure report\n"
+      << "episode: protocol=" << ProtocolKindName(config.protocol)
+      << " seed=" << config.seed << " processors=" << config.processors
+      << " rounds=" << config.rounds << " ops_per_round="
+      << config.ops_per_round << " key_space=" << config.key_space
+      << " fanout=" << config.fanout << " leaf_replication="
+      << config.leaf_replication << " drop=" << config.drop
+      << " dup=" << config.dup << "\n"
+      << "signature: " << result.Signature() << "\n"
+      << "ops: " << result.ops_completed << "/" << result.ops_submitted
+      << " completed, " << result.delivered << " deliveries\n\n";
+
+  std::vector<std::string> history, structure, client;
+  for (const std::string& v : result.violations) {
+    if (v.rfind("history: ", 0) == 0) {
+      history.push_back(v.substr(9));
+    } else if (v.rfind("structure: ", 0) == 0) {
+      structure.push_back(v.substr(11));
+    } else {
+      client.push_back(v);
+    }
+  }
+  auto section = [&](const char* title, const std::vector<std::string>& vs) {
+    out << title << " (" << vs.size() << "):\n";
+    for (const std::string& v : vs) out << "  " << v << "\n";
+    out << "\n";
+  };
+  section("S3.1 history violations (complete/compatible/ordered)", history);
+  section("tree-structure violations", structure);
+  section("client-visible violations", client);
+
+  out << "trace: " << trace_path << "\n";
+  if (!min_path.empty()) out << "minimized trace: " << min_path << "\n";
+  out << "repro: " << repro << "\n";
+}
+
 int RunReplay(const CliOptions& cli) {
   StatusOr<ScheduleTrace> loaded = ScheduleTrace::LoadFile(cli.replay_path);
   if (!loaded.ok()) {
@@ -300,21 +351,23 @@ int RunExplore(const CliOptions& cli) {
           continue;
         }
         std::printf("  trace: %s\n", path.c_str());
+        std::string min_path;
         if (cli.minimize) {
           StatusOr<MinimizeResult> minimized =
               MinimizeTrace(config, result.trace);
           if (minimized.ok()) {
-            std::string min_path = path + ".min";
-            Status min_save = minimized->trace.SaveFile(min_path);
+            std::string candidate = path + ".min";
+            Status min_save = minimized->trace.SaveFile(candidate);
             std::printf(
                 "  minimized: %zu -> %zu fault events (%zu replays, "
                 "deterministic=%s) -> %s\n",
                 minimized->initial_faults, minimized->final_faults,
                 minimized->replays,
                 minimized->deterministic ? "yes" : "no",
-                min_save.ok() ? min_path.c_str()
+                min_save.ok() ? candidate.c_str()
                               : min_save.ToString().c_str());
             if (min_save.ok()) {
+              min_path = std::move(candidate);
               std::printf("  repro: %s\n",
                           ReproCommand(cli, config, min_path).c_str());
             }
@@ -323,7 +376,13 @@ int RunExplore(const CliOptions& cli) {
                         minimized.status().ToString().c_str());
           }
         }
+        const std::string repro = ReproCommand(
+            cli, config, min_path.empty() ? path : min_path);
         std::printf("  repro: %s\n", ReproCommand(cli, config, path).c_str());
+        const std::string report_path = path + ".report";
+        WriteFailureReport(report_path, config, result, path, min_path,
+                           repro);
+        std::printf("  report: %s\n", report_path.c_str());
       }
     }
   }

@@ -164,6 +164,9 @@ TEST(NaiveProtocol, LosesInsertsUnderConcurrency) {
     ClusterOptions o = SimOptions(ProtocolKind::kNaive, 5, seed,
                                   /*fanout=*/4);
     o.tree.leaf_replication = 3;
+    // The strawman loses inserts by design; the quiescence hook would
+    // (correctly) abort the process before the test could count them.
+    o.check_histories = false;
     Cluster cluster(o);
     cluster.Start();
     std::vector<Key> keys = RandomKeys(500, seed);

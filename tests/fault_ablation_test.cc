@@ -36,6 +36,9 @@ Damage RunWithFaults(uint64_t seed, double drop, double dup) {
   ClusterOptions o = SimOptions(ProtocolKind::kSemiSyncSplit, 5, seed,
                                 /*fanout=*/4);
   o.tree.leaf_replication = 3;
+  // This harness *measures* the damage faults cause; the quiescence hook
+  // would abort on the first violation before Damage could be collected.
+  o.check_histories = false;
   Cluster cluster(o);
   cluster.Start();
   cluster.sim()->InjectFaults(drop, dup);
@@ -136,6 +139,9 @@ TEST(Fig6Ablation, DisablingReRelayYieldsIncompleteCopies) {
                                   /*fanout=*/4);
     o.piggyback_window = 100000;
     o.tree.ablate_fig6_rerelay = ablate;
+    // The ablated protocol is *expected* to violate completeness; the
+    // test asserts on the report instead of dying at quiescence.
+    o.check_histories = false;
     Cluster cluster(o);
     cluster.Start();
     Rng rng(5);

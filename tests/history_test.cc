@@ -221,5 +221,99 @@ TEST(CheckerReport, ViolationCapKeepsOutputBounded) {
   EXPECT_EQ(report.violations.size(), 5u);  // 4 + suppression notice
 }
 
+// ---------------------------------------------------------------------------
+// Negative paths must *pinpoint*: a violation string that doesn't name the
+// update, copy, and versions involved sends the reader back to a debugger.
+// These tests pin the diagnostic contract, not just the pass/fail bit.
+// ---------------------------------------------------------------------------
+
+TEST(CheckerMessages, CompleteViolationNamesUpdateAndKey) {
+  HistoryLog log;
+  log.RegisterIssued({7, UpdateClass::kInsert, Id(1), 425, 1});
+  auto report = CheckComplete(log);
+  ASSERT_EQ(report.violations.size(), 1u);
+  const std::string& v = report.violations.front();
+  EXPECT_NE(v.find("u=7"), std::string::npos) << v;
+  EXPECT_NE(v.find("key=425"), std::string::npos) << v;
+  EXPECT_NE(v.find("never applied"), std::string::npos) << v;
+}
+
+TEST(CheckerMessages, LinkChangeInversionNamesCopyAndBothVersions) {
+  HistoryLog log;
+  log.OnCopyCreated(Id(1), 3, {});
+  Record newer = LinkRecord(1, 3, 5, false);
+  Record older = LinkRecord(2, 3, 2, false);  // version-order inversion
+  log.Append(newer);
+  log.Append(older);
+  auto report = CheckOrdered(log);
+  ASSERT_EQ(report.violations.size(), 1u);
+  const std::string& v = report.violations.front();
+  EXPECT_NE(v.find("link-change v=2"), std::string::npos) << v;
+  EXPECT_NE(v.find("after v=5"), std::string::npos) << v;
+  EXPECT_NE(v.find("@p3"), std::string::npos) << v;
+}
+
+TEST(CheckerMessages, LinkKindsAreOrderedIndependently) {
+  // A right-link at v=5 then a parent-link at v=2 is NOT an inversion —
+  // each link kind carries its own version counter.
+  HistoryLog log;
+  log.OnCopyCreated(Id(1), 0, {});
+  Record right = LinkRecord(1, 0, 5, false);
+  right.link = 0;
+  Record parent = LinkRecord(2, 0, 2, false);
+  parent.link = 1;
+  log.Append(right);
+  log.Append(parent);
+  EXPECT_TRUE(CheckOrdered(log).ok());
+}
+
+TEST(CheckerMessages, MembershipInversionNamesClassAndCopy) {
+  HistoryLog log;
+  log.OnCopyCreated(Id(1), 2, {});
+  Record join = LinkRecord(1, 2, 4, false);
+  join.cls = UpdateClass::kMembership;
+  Record migrate = LinkRecord(2, 2, 4, false);  // equal version: not after
+  migrate.cls = UpdateClass::kMigrate;
+  log.Append(join);
+  log.Append(migrate);
+  auto report = CheckOrdered(log);
+  ASSERT_EQ(report.violations.size(), 1u);
+  const std::string& v = report.violations.front();
+  EXPECT_NE(v.find("migrate"), std::string::npos) << v;
+  EXPECT_NE(v.find("v=4"), std::string::npos) << v;
+  EXPECT_NE(v.find("@p2"), std::string::npos) << v;
+}
+
+TEST(CheckerMessages, CompatibleDivergenceNamesBothCopies) {
+  HistoryLog log;
+  log.RegisterIssued({1, UpdateClass::kInsert, Id(1), 10, 100});
+  log.OnCopyCreated(Id(1), 0, {});
+  log.OnCopyCreated(Id(1), 1, {});
+  log.Append(InsertRecord(1, Id(1), 0, 10, true));  // p1 never applies u=1
+  std::map<CopyKey, NodeSnapshot> finals;
+  finals[{Id(1), 0}] = Snap(Id(1), {{10, 100}});
+  finals[{Id(1), 1}] = Snap(Id(1), {});
+  auto report = CheckCompatible(log, finals);
+  ASSERT_FALSE(report.ok());
+  const std::string joined = report.ToString();
+  EXPECT_NE(joined.find("@p0"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("@p1"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("u=1"), std::string::npos) << joined;
+}
+
+TEST(CheckerMessages, DoubleApplicationNamesCountAndCopy) {
+  HistoryLog log;
+  log.OnCopyCreated(Id(1), 0, {});
+  log.Append(InsertRecord(3, Id(1), 0, 10, true));
+  log.Append(InsertRecord(3, Id(1), 0, 10, false));  // re-applied relay
+  std::map<CopyKey, NodeSnapshot> finals;
+  finals[{Id(1), 0}] = Snap(Id(1), {{10, 0}});
+  auto report = CheckCompatible(log, finals);
+  ASSERT_FALSE(report.ok());
+  const std::string& v = report.violations.front();
+  EXPECT_NE(v.find("applied 2x"), std::string::npos) << v;
+  EXPECT_NE(v.find("@p0"), std::string::npos) << v;
+}
+
 }  // namespace
 }  // namespace lazytree

@@ -1,0 +1,34 @@
+// Fixture for lazytree_lint --self-test: a miniature action.h/message.h
+// whose wire walk (bad_wire.cc) and dispatch (bad_base.cc) contain
+// deliberate violations. Never compiled into the project.
+
+#include <cstdint>
+#include <vector>
+
+enum class ActionKind : uint8_t {
+  kInvalid = 0,
+  kSearch,
+  kInsertOp,
+  kScanOp,
+  kMaxKind,
+};
+
+struct NodeSnapshot {
+  uint64_t id = 0;
+  int32_t level = 0;
+  uint64_t parent = 0;  // bad_wire.cc's decoder forgets this field
+};
+
+struct Action {
+  ActionKind kind = ActionKind::kInvalid;
+  uint64_t target = 0;
+  uint32_t hops = 0;  // bad_wire.cc's encoder forgets this field
+  NodeSnapshot snapshot;
+};
+
+struct Message {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  uint64_t seq = 0;
+  std::vector<Action> actions;
+};

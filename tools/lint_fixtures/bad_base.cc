@@ -1,0 +1,13 @@
+// Fixture for lazytree_lint --self-test: a dispatch switch that forgets
+// ActionKind::kScanOp. Never compiled into the project.
+
+void BaseProtocol::Handle(const Action& action) {
+  Action a = action;
+  switch (a.kind) {
+    case ActionKind::kSearch: HandleSearch(a); break;
+    case ActionKind::kInsertOp: HandleInsertOp(a); break;
+    // BUG (planted): ActionKind::kScanOp has no case.
+    default:
+      Unexpected(a);
+  }
+}

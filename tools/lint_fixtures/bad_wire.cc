@@ -1,0 +1,58 @@
+// Fixture for lazytree_lint --self-test: a wire walk with two planted
+// violations — the encoder skips Action::hops and the decoder skips
+// NodeSnapshot::parent. Never compiled into the project.
+
+template <typename Sink>
+void EncodeSnapshotTo(Sink& w, const NodeSnapshot& s) {
+  w.PutVarint(s.id);
+  w.PutVarint(s.level);
+  w.PutVarint(s.parent);
+}
+
+template <typename Sink>
+void EncodeActionTo(Sink& w, const Action& a) {
+  w.PutFixed8(static_cast<uint8_t>(a.kind));
+  w.PutVarint(a.target);
+  // BUG (planted): a.hops is never written.
+  EncodeSnapshotTo(w, a.snapshot);
+}
+
+template <typename Sink>
+void EncodeMessageTo(Sink& w, const Message& m) {
+  w.PutVarint(m.from);
+  w.PutVarint(m.to);
+  w.PutVarint(m.seq);
+  for (const Action& a : m.actions) EncodeActionTo(w, a);
+}
+
+StatusOr<NodeSnapshot> DecodeSnapshot(Reader& r) {
+  NodeSnapshot s;
+  s.id = r.GetVarint();
+  s.level = r.GetVarint();
+  // BUG (planted): s.parent is never read.
+  return s;
+}
+
+StatusOr<Action> DecodeAction(Reader& r) {
+  Action a;
+  a.kind = static_cast<ActionKind>(r.GetFixed8());
+  a.target = r.GetVarint();
+  a.hops = r.GetVarint();
+  a.snapshot = DecodeSnapshot(r);
+  return a;
+}
+
+StatusOr<Message> DecodeMessage(Reader& r) {
+  Message m;
+  m.from = r.GetVarint();
+  m.to = r.GetVarint();
+  m.seq = r.GetVarint();
+  m.actions.push_back(DecodeAction(r));
+  return m;
+}
+
+size_t EncodedSize(const Message& m) {
+  SizeCounter c;
+  EncodeMessageTo(c, m);
+  return c.size();
+}

@@ -1,0 +1,14 @@
+// Fixture for lazytree_lint --self-test: protocol code holding a lock,
+// which violates the single-threaded-per-processor execution model the
+// concurrency-confinement rule protects. Never compiled into the project.
+
+#include <mutex>
+
+namespace lazytree {
+
+struct LockedProtocolState {
+  std::mutex mu;  // BUG (planted): blocking primitive outside transport
+  int counter = 0;
+};
+
+}  // namespace lazytree

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Ratcheted clang-tidy runner: fails only on findings NOT already recorded
+# in tools/clang_tidy_baseline.txt, so the tree can adopt clang-tidy
+# without a flag-day cleanup while new code stays clean.
+#
+# usage: run_clang_tidy.sh <clang-tidy-exe> <build-dir> <source-dir> [--update]
+#
+#   <build-dir> must contain compile_commands.json (the top-level
+#   CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS).
+#   --update rewrites the baseline from the current findings (use after
+#   deliberately accepting or fixing findings).
+#
+# Baseline format: one "<file>: [<check>]" pair per line, sorted, '#'
+# comments allowed. Line numbers are deliberately omitted — they drift on
+# every unrelated edit and would make the ratchet flaky.
+set -eu
+
+TIDY="$1"
+BUILD="$2"
+SRC="$3"
+MODE="${4:-check}"
+
+BASELINE="$SRC/tools/clang_tidy_baseline.txt"
+RAW="$BUILD/clang_tidy_raw.log"
+CURRENT="$BUILD/clang_tidy_findings.txt"
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: $BUILD/compile_commands.json missing" >&2
+  exit 2
+fi
+
+cd "$SRC"
+FILES=$(find src tools -name '*.cc' ! -path 'tools/lint_fixtures/*' | sort)
+
+# clang-tidy exits nonzero when it emits warnings; the ratchet below is the
+# real gate, so tolerate that here.
+"$TIDY" -p "$BUILD" --quiet $FILES >"$RAW" 2>"$BUILD/clang_tidy_stderr.log" || true
+
+# Normalize "path/to/file.cc:12:3: warning: msg [check-name]" down to
+# "file.cc: [check-name]" pairs.
+sed -nE 's|^.*[/ ]((src\|tools\|tests\|bench)/[^:]+):[0-9]+:[0-9]+: (warning\|error): .* (\[[A-Za-z0-9.,-]+\])$|\1: \4|p' \
+  "$RAW" | sort -u >"$CURRENT"
+
+if [ "$MODE" = "--update" ]; then
+  {
+    echo "# clang-tidy ratchet baseline — regenerate with:"
+    echo "#   tools/run_clang_tidy.sh <clang-tidy> <build-dir> . --update"
+    cat "$CURRENT"
+  } >"$BASELINE"
+  echo "baseline updated: $(wc -l <"$CURRENT") finding(s) recorded"
+  exit 0
+fi
+
+NEW=$(comm -23 "$CURRENT" <(grep -v '^#' "$BASELINE" | sort -u) || true)
+FIXED=$(comm -13 "$CURRENT" <(grep -v '^#' "$BASELINE" | sort -u) || true)
+
+if [ -n "$FIXED" ]; then
+  echo "clang-tidy: baseline findings no longer present (consider --update):"
+  echo "$FIXED" | sed 's/^/  /'
+fi
+if [ -n "$NEW" ]; then
+  echo "clang-tidy: NEW findings not in tools/clang_tidy_baseline.txt:" >&2
+  echo "$NEW" | sed 's/^/  /' >&2
+  echo "full report: $RAW" >&2
+  exit 1
+fi
+echo "clang-tidy: clean against baseline ($(wc -l <"$CURRENT") known finding(s))"
