@@ -55,6 +55,15 @@ std::unique_ptr<ProtocolHandler> MakeHandler(ProtocolKind kind,
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), history_(options_.tree.track_history) {
   LAZYTREE_CHECK(options_.processors >= 1) << "need at least one processor";
+  const bool threads = options_.transport == TransportKind::kThreads;
+  // Tri-state execution knobs: auto (-1) turns the multicore fast paths
+  // on only for the threads transport, so seeded sim schedules (and the
+  // checked-in explorer traces that replay them) stay byte-stable.
+  options_.tree.combine_ops =
+      options_.combine_ops < 0 ? threads : options_.combine_ops > 0;
+  options_.tree.local_fastpath = options_.local_read_fastpath < 0
+                                     ? threads
+                                     : options_.local_read_fastpath > 0;
   if (options_.transport == TransportKind::kSim) {
     auto sim = std::make_unique<net::SimNetwork>(options_.seed);
     if (options_.sim_latency_us > 0) {
@@ -63,8 +72,11 @@ Cluster::Cluster(ClusterOptions options)
     sim_ = sim.get();
     base_network_ = std::move(sim);
   } else {
-    base_network_ = std::make_unique<net::ThreadNetwork>(
-        net::ThreadNetwork::Options{.checked_wire = options_.checked_wire});
+    net::ThreadNetwork::Options topt;
+    topt.checked_wire = options_.checked_wire;
+    topt.pin_threads = options_.pin_threads;
+    if (options_.max_batch > 0) topt.max_batch = options_.max_batch;
+    base_network_ = std::make_unique<net::ThreadNetwork>(topt);
   }
   network_ = base_network_.get();
   if (options_.piggyback_window > 0) {

@@ -47,6 +47,20 @@ struct ClusterOptions {
   /// Per-destination relayed-update buffer for piggybacking (§1.1).
   /// 0 disables piggybacking.
   size_t piggyback_window = 0;
+  /// Hot-node op combining (TreeConfig::combine_ops): -1 auto-resolves to
+  /// ON for the threads transport and OFF for sim (keeping every seeded
+  /// sim schedule — and all checked-in explorer traces — byte-stable);
+  /// 0/1 force it. Sim runs with it forced on stay deterministic, just
+  /// under a different (still valid) schedule.
+  int8_t combine_ops = -1;
+  /// Local-replica read fast path (TreeConfig::local_fastpath): same
+  /// tri-state convention as combine_ops.
+  int8_t local_read_fastpath = -1;
+  /// Threads transport only: pin each worker thread to a fixed CPU.
+  bool pin_threads = true;
+  /// Threads transport only: max messages per drained inbox batch (tail-
+  /// latency bound); 0 keeps the ThreadNetwork default.
+  size_t max_batch = 0;
   /// Run the §3.1 history checks (complete/compatible/ordered) at every
   /// quiescent point Settle() reaches, aborting on the first violation so
   /// the failing schedule is caught at the earliest moment it is

@@ -10,6 +10,8 @@ StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& rhs) const {
   d.local_messages = local_messages - rhs.local_messages;
   d.remote_bytes = remote_bytes - rhs.remote_bytes;
   d.piggybacked_actions = piggybacked_actions - rhs.piggybacked_actions;
+  d.combined_actions = combined_actions - rhs.combined_actions;
+  d.fastpath_reads = fastpath_reads - rhs.fastpath_reads;
   for (size_t i = 0; i < actions_by_kind.size(); ++i) {
     d.actions_by_kind[i] = actions_by_kind[i] - rhs.actions_by_kind[i];
   }
@@ -20,7 +22,9 @@ std::string StatsSnapshot::ToString() const {
   std::ostringstream os;
   os << "remote_msgs=" << remote_messages << " local_msgs=" << local_messages
      << " remote_bytes=" << remote_bytes
-     << " piggybacked=" << piggybacked_actions;
+     << " piggybacked=" << piggybacked_actions
+     << " combined=" << combined_actions
+     << " fastpath_reads=" << fastpath_reads;
   for (size_t i = 1; i < actions_by_kind.size(); ++i) {
     if (actions_by_kind[i] == 0) continue;
     os << " " << ActionKindName(static_cast<ActionKind>(i)) << "="
@@ -51,6 +55,14 @@ void NetworkStats::OnPiggyback(size_t action_count) {
   piggybacked_actions_.fetch_add(action_count, std::memory_order_relaxed);
 }
 
+void NetworkStats::OnCombined(size_t action_count) {
+  combined_actions_.fetch_add(action_count, std::memory_order_relaxed);
+}
+
+void NetworkStats::OnFastpathRead(size_t hops) {
+  fastpath_reads_.fetch_add(hops, std::memory_order_relaxed);
+}
+
 StatsSnapshot NetworkStats::Snapshot() const {
   StatsSnapshot s;
   s.remote_messages = remote_messages_.load(std::memory_order_relaxed);
@@ -58,6 +70,8 @@ StatsSnapshot NetworkStats::Snapshot() const {
   s.remote_bytes = remote_bytes_.load(std::memory_order_relaxed);
   s.piggybacked_actions =
       piggybacked_actions_.load(std::memory_order_relaxed);
+  s.combined_actions = combined_actions_.load(std::memory_order_relaxed);
+  s.fastpath_reads = fastpath_reads_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < s.actions_by_kind.size(); ++i) {
     s.actions_by_kind[i] =
         actions_by_kind_[i].load(std::memory_order_relaxed);
@@ -70,6 +84,8 @@ void NetworkStats::Reset() {
   local_messages_ = 0;
   remote_bytes_ = 0;
   piggybacked_actions_ = 0;
+  combined_actions_ = 0;
+  fastpath_reads_ = 0;
   for (auto& c : actions_by_kind_) c = 0;
 }
 

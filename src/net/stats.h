@@ -19,6 +19,8 @@ struct StatsSnapshot {
   uint64_t local_messages = 0;   ///< self-sends (not network traffic)
   uint64_t remote_bytes = 0;
   uint64_t piggybacked_actions = 0;  ///< actions that rode along for free
+  uint64_t combined_actions = 0;     ///< actions merged by the op combiner
+  uint64_t fastpath_reads = 0;  ///< local hops short-circuited by inline descent
   std::array<uint64_t, static_cast<size_t>(ActionKind::kMaxKind)>
       actions_by_kind{};
 
@@ -34,6 +36,12 @@ class NetworkStats {
  public:
   void OnSend(const Message& m, size_t encoded_bytes);
   void OnPiggyback(size_t action_count);
+  /// `action_count` actions left the queue manager fused into an
+  /// already-pending message instead of as their own sends.
+  void OnCombined(size_t action_count);
+  /// A navigation hop (or whole descent) was resolved against local
+  /// replicas without a queue-manager round trip.
+  void OnFastpathRead(size_t hops);
   StatsSnapshot Snapshot() const;
   void Reset();
 
@@ -42,6 +50,8 @@ class NetworkStats {
   std::atomic<uint64_t> local_messages_{0};
   std::atomic<uint64_t> remote_bytes_{0};
   std::atomic<uint64_t> piggybacked_actions_{0};
+  std::atomic<uint64_t> combined_actions_{0};
+  std::atomic<uint64_t> fastpath_reads_{0};
   std::array<std::atomic<uint64_t>,
              static_cast<size_t>(ActionKind::kMaxKind)>
       actions_by_kind_{};

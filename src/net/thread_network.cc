@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/msg/wire.h"
+#include "src/util/affinity.h"
 #include "src/util/logging.h"
 
 namespace lazytree::net {
@@ -18,7 +19,9 @@ bool CheckedWireFromEnv() {
 
 ThreadNetwork::ThreadNetwork(Options options)
     : checked_wire_(options.checked_wire || CheckedWireFromEnv()),
-      byte_stats_(options.byte_stats) {}
+      byte_stats_(options.byte_stats),
+      pin_threads_(options.pin_threads),
+      max_batch_(options.max_batch > 0 ? options.max_batch : 1) {}
 
 ThreadNetwork::~ThreadNetwork() { Stop(); }
 
@@ -27,6 +30,7 @@ void ThreadNetwork::Register(ProcessorId id, Receiver* receiver) {
   if (stations_.size() <= id) stations_.resize(id + 1);
   LAZYTREE_CHECK(stations_[id] == nullptr) << "double register p" << id;
   stations_[id] = std::make_unique<Station>();
+  stations_[id]->id = id;
   stations_[id]->receiver = receiver;
 }
 
@@ -69,6 +73,12 @@ void ThreadNetwork::Start() {
 }
 
 void ThreadNetwork::WorkerLoop(Station* station) {
+  // Pin only when there are cores to spread over: on a single-CPU host
+  // (or a 1-CPU cgroup) pinning is a no-op scheduling-wise and skipping
+  // it keeps strace/TSan logs quiet.
+  if (pin_threads_ && AvailableCpus() > 1) {
+    PinCurrentThreadToCpu(static_cast<unsigned>(station->id));
+  }
   if (checked_wire_) {
     // Original pipeline: one encoded message per queue round trip,
     // decoded and retired individually.
@@ -82,10 +92,8 @@ void ThreadNetwork::WorkerLoop(Station* station) {
     return;
   }
   std::vector<Message> batch;  // recycled across PopAll swaps
-  while (station->inbox.PopAll(batch)) {
-    for (Message& m : batch) {
-      station->receiver->Deliver(std::move(m));
-    }
+  while (station->inbox.PopAll(batch, max_batch_)) {
+    station->receiver->DeliverBatch(batch);
     OnHandled(static_cast<int64_t>(batch.size()));
   }
 }

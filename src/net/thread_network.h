@@ -48,6 +48,13 @@ class ThreadNetwork : public Network {
     /// RPC-cost benches that consume byte counts run on SimNetwork.
     /// Checked mode always reports exact bytes (the buffer exists).
     bool byte_stats = false;
+    /// Pin each worker thread to a fixed CPU (worker i -> available CPU
+    /// i mod n). Best-effort; ignored where affinity is unsupported.
+    bool pin_threads = true;
+    /// Maximum messages drained per inbox batch. Bounds the tail: a
+    /// flooded inbox is served in max_batch-sized chunks instead of one
+    /// unbounded atomic batch that starves everything queued behind it.
+    size_t max_batch = 128;
   };
 
   ThreadNetwork() : ThreadNetwork(Options{}) {}
@@ -65,6 +72,7 @@ class ThreadNetwork : public Network {
 
  private:
   struct Station {
+    ProcessorId id = 0;
     Receiver* receiver = nullptr;
     // Fast path: messages moved in whole, drained in batches.
     MpscBatchQueue<Message> inbox;
@@ -81,6 +89,8 @@ class ThreadNetwork : public Network {
 
   bool checked_wire_ = false;
   bool byte_stats_ = false;
+  bool pin_threads_ = true;
+  size_t max_batch_ = 128;
   std::vector<std::unique_ptr<Station>> stations_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};

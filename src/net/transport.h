@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 #include "src/msg/message.h"
 #include "src/net/stats.h"
@@ -32,6 +33,18 @@ class Receiver {
 
   /// Handles one message. Called serially per processor. May Send.
   virtual void Deliver(Message m) = 0;
+
+  /// Handles a drained inbox batch. Called serially per processor with
+  /// the same atomicity guarantee as Deliver (the batch is just a loop of
+  /// serial Delivers from the receiver's point of view). Overriding lets
+  /// a receiver amortize per-delivery work across the batch — the
+  /// Processor override opens an output-combining scope so all actions
+  /// the batch emits toward one destination leave as a single message.
+  /// `batch` elements are consumed (moved from); the vector itself stays
+  /// owned by the caller for capacity recycling.
+  virtual void DeliverBatch(std::vector<Message>& batch) {
+    for (Message& m : batch) Deliver(std::move(m));
+  }
 };
 
 /// Reliable exactly-once FIFO transport between registered processors.

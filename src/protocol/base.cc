@@ -88,55 +88,86 @@ void BaseProtocol::Navigate(Action a) {
       return;
     }
   }
-  Node* n = Local(a.target);
-  if (n == nullptr) {
-    ProcessorId dest = ResolveDest(a.target, a.level);
-    if (dest == p_.id()) {
-      HandleMissing(std::move(a));
-    } else {
-      p_.out().SendAction(dest, std::move(a));
+  const bool inline_descent = p_.config().local_fastpath;
+  size_t inline_hops = 0;
+  for (;;) {
+    Node* n = Local(a.target);
+    if (n == nullptr) {
+      ProcessorId dest = ResolveDest(a.target, a.level);
+      if (dest == p_.id()) {
+        HandleMissing(std::move(a));
+      } else {
+        p_.out().SendAction(dest, std::move(a));
+      }
+      break;
     }
+    if (ReadBlocked(*n)) {
+      p_.aas().Defer(n->id(), std::move(a));
+      break;
+    }
+    ++a.hops;
+    LAZYTREE_CHECK(a.key >= n->range().low)
+        << "action " << a.ToString() << " navigated left of "
+        << n->ToString();
+    if (a.key >= n->right_low()) {
+      // Misnavigation (the node split under us): chase the right link.
+      if (!inline_descent) {
+        RouteToNode(n->right(), n->level(), std::move(a));
+        return;
+      }
+      a.target = n->right();
+      a.level = n->level();
+      ++inline_hops;
+      continue;
+    }
+    if (!n->is_leaf()) {
+      NodeId child = n->ChildFor(a.key);
+      if (!inline_descent) {
+        RouteToNode(child, n->level() - 1, std::move(a));
+        return;
+      }
+      a.target = child;
+      a.level = n->level() - 1;
+      ++inline_hops;
+      continue;
+    }
+    // Leaf reached.
+    switch (a.kind) {
+      case ActionKind::kSearch:
+        CompleteSearch(a, *n);
+        break;
+      case ActionKind::kScanOp:
+        ContinueScan(std::move(a), *n);
+        break;
+      case ActionKind::kInsertOp:
+        // The navigation phase ends here; the action becomes an initial
+        // insert on this leaf (§4.1).
+        a.kind = ActionKind::kInsert;
+        HandleInitialInsert(std::move(a));
+        break;
+      case ActionKind::kDeleteOp:
+        a.kind = ActionKind::kDelete;
+        HandleInitialDelete(std::move(a));
+        break;
+      default:
+        Unexpected(a);
+    }
+    break;
+  }
+  // Each inline continuation replaced one self-send round trip through
+  // the local queue.
+  if (inline_hops > 0) {
+    p_.out().network()->stats().OnFastpathRead(inline_hops);
+  }
+}
+
+void BaseProtocol::SendReturn(Action r) {
+  const ProcessorId origin = OpOrigin(r.op);
+  if (p_.config().local_fastpath && origin == p_.id()) {
+    p_.CompleteReturnLocal(std::move(r));
     return;
   }
-  if (ReadBlocked(*n)) {
-    p_.aas().Defer(n->id(), std::move(a));
-    return;
-  }
-  ++a.hops;
-  LAZYTREE_CHECK(a.key >= n->range().low)
-      << "action " << a.ToString() << " navigated left of "
-      << n->ToString();
-  if (a.key >= n->right_low()) {
-    // Misnavigation (the node split under us): chase the right link.
-    RouteToNode(n->right(), n->level(), std::move(a));
-    return;
-  }
-  if (!n->is_leaf()) {
-    NodeId child = n->ChildFor(a.key);
-    RouteToNode(child, n->level() - 1, std::move(a));
-    return;
-  }
-  // Leaf reached.
-  switch (a.kind) {
-    case ActionKind::kSearch:
-      CompleteSearch(a, *n);
-      break;
-    case ActionKind::kScanOp:
-      ContinueScan(std::move(a), *n);
-      break;
-    case ActionKind::kInsertOp:
-      // The navigation phase ends here; the action becomes an initial
-      // insert on this leaf (§4.1).
-      a.kind = ActionKind::kInsert;
-      HandleInitialInsert(std::move(a));
-      break;
-    case ActionKind::kDeleteOp:
-      a.kind = ActionKind::kDelete;
-      HandleInitialDelete(std::move(a));
-      break;
-    default:
-      Unexpected(a);
-  }
+  p_.out().SendAction(origin, std::move(r));
 }
 
 void BaseProtocol::ContinueScan(Action a, Node& leaf) {
@@ -155,7 +186,7 @@ void BaseProtocol::ContinueScan(Action a, Node& leaf) {
     r.rc = Action::Rc::kOk;
     r.hops = a.hops;
     r.range_results = std::move(a.range_results);
-    p_.out().SendAction(OpOrigin(a.op), std::move(r));
+    SendReturn(std::move(r));
     return;
   }
   // Continue from the right sibling's low key.
@@ -179,7 +210,7 @@ void BaseProtocol::Reply(const Action& a, Action::Rc rc, Value value) {
   r.found = rc == Action::Rc::kOk && a.kind == ActionKind::kSearch;
   r.rc = rc;
   r.hops = a.hops;
-  p_.out().SendAction(OpOrigin(a.op), std::move(r));
+  SendReturn(std::move(r));
 }
 
 UpdateId BaseProtocol::NewRegisteredUpdate(history::UpdateClass cls,

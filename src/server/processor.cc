@@ -23,35 +23,59 @@ void Processor::SetHandler(std::unique_ptr<ProtocolHandler> handler) {
 
 void Processor::Deliver(Message m) {
   if (crashed_) return;  // defensive; the sim network drops these already
-  for (Action& action : m.actions) {
-    actions_handled_.fetch_add(1, std::memory_order_relaxed);
-    if (action.kind == ActionKind::kReturnValue) {
-      OpResult result;
-      result.op = action.op;
-      result.key = action.key;
-      result.hops = action.hops;
-      result.entries = std::move(action.range_results);
-      switch (action.rc) {
-        case Action::Rc::kOk:
-          result.status = Status::OK();
-          result.value = action.value;
-          break;
-        case Action::Rc::kNotFound:
-          result.status = Status::NotFound("key absent");
-          break;
-        case Action::Rc::kExists:
-          result.status = Status::AlreadyExists("key exists");
-          break;
-        case Action::Rc::kNone:
-          result.status = Status::Internal("return without rc");
-          break;
-      }
-      ops_.Complete(result);
-      continue;
-    }
-    LAZYTREE_CHECK(handler_ != nullptr) << "no protocol installed on p" << id_;
-    handler_->Handle(action);
+  // Scope per message: a coalesced message's actions emit their outputs
+  // as one message per destination. Nested inside a DeliverBatch scope
+  // this is a no-op (only the outermost EndCombine flushes).
+  if (config_.combine_ops) out_.BeginCombine();
+  for (Action& action : m.actions) HandleAction(action);
+  if (config_.combine_ops) out_.EndCombine();
+}
+
+void Processor::DeliverBatch(std::vector<Message>& batch) {
+  if (!config_.combine_ops) {
+    for (Message& m : batch) Deliver(std::move(m));
+    return;
   }
+  // One combining scope across the whole drained batch: same-destination
+  // outputs of *different* inbox messages fuse too (this is where a burst
+  // of searches past the root collapses into one upstream message).
+  out_.BeginCombine();
+  for (Message& m : batch) Deliver(std::move(m));
+  out_.EndCombine();
+}
+
+void Processor::HandleAction(Action& action) {
+  actions_handled_.fetch_add(1, std::memory_order_relaxed);
+  if (action.kind == ActionKind::kReturnValue) {
+    CompleteReturnLocal(std::move(action));
+    return;
+  }
+  LAZYTREE_CHECK(handler_ != nullptr) << "no protocol installed on p" << id_;
+  handler_->Handle(action);
+}
+
+void Processor::CompleteReturnLocal(Action action) {
+  OpResult result;
+  result.op = action.op;
+  result.key = action.key;
+  result.hops = action.hops;
+  result.entries = std::move(action.range_results);
+  switch (action.rc) {
+    case Action::Rc::kOk:
+      result.status = Status::OK();
+      result.value = action.value;
+      break;
+    case Action::Rc::kNotFound:
+      result.status = Status::NotFound("key absent");
+      break;
+    case Action::Rc::kExists:
+      result.status = Status::AlreadyExists("key exists");
+      break;
+    case Action::Rc::kNone:
+      result.status = Status::Internal("return without rc");
+      break;
+  }
+  ops_.Complete(result);
 }
 
 Node* Processor::InstallNode(std::unique_ptr<Node> node) {

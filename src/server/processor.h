@@ -45,6 +45,17 @@ struct TreeConfig {
   /// joiners. Demonstrates the Fig.-6 incomplete-history failure the
   /// machinery exists to prevent.
   bool ablate_fig6_rerelay = false;
+  /// Hot-node op combining: buffer actions emitted during one delivery
+  /// (or delivery batch) per destination and flush them as one
+  /// multi-action message each — one message carries many ops past the
+  /// hot root replica. Resolved from ClusterOptions::combine_ops.
+  bool combine_ops = false;
+  /// Local-replica read fast path: navigation descends through locally
+  /// replicated copies inline (no queue-manager round trip per hop), and
+  /// kReturnValue to self completes the op directly. Staleness is
+  /// absorbed by §4.2 side-link misnavigation recovery, exactly as for a
+  /// stale remote replica. Resolved from ClusterOptions::local_read_fastpath.
+  bool local_fastpath = false;
 };
 
 class Processor : public net::Receiver {
@@ -57,6 +68,15 @@ class Processor : public net::Receiver {
 
   // net::Receiver:
   void Deliver(Message m) override;
+  /// Batch delivery with an output-combining scope spanning the whole
+  /// batch (when TreeConfig::combine_ops): all actions the batch emits
+  /// toward one destination leave as a single message.
+  void DeliverBatch(std::vector<Message>& batch) override;
+
+  /// Completes a kReturnValue action addressed to this processor without
+  /// a queue-manager round trip (the local-read fast path's last hop).
+  /// Worker thread only.
+  void CompleteReturnLocal(Action action);
 
   // --- services used by protocol code (worker thread only) ---
   ProcessorId id() const { return id_; }
@@ -126,6 +146,8 @@ class Processor : public net::Receiver {
   }
 
  private:
+  void HandleAction(Action& action);
+
   ProcessorId id_;
   uint32_t cluster_size_;
   TreeConfig config_;

@@ -5,13 +5,35 @@
 // queue (the paper's "new entry is put into the message queue"), a remote
 // send crosses the Network. Self-sends are counted as local messages, not
 // network traffic.
+//
+// Op combining (TreeConfig::combine_ops): while the owning worker thread
+// is inside a delivery scope (BeginCombine/EndCombine, opened by the
+// Processor around Deliver/DeliverBatch), outgoing actions are buffered
+// per destination and flushed as one multi-action message per destination
+// when the scope closes. A batch of searches crossing the same hot root
+// replica therefore leaves as a single message instead of one message per
+// op — the hot-node combining of ROADMAP item 1. Correctness rides on the
+// paper's own model: a message already carries a *vector* of actions
+// (piggybacking, §1.1), the receiver handles them serially, and per-
+// (from,to) FIFO is preserved because buffers flush in first-touch order
+// before the next delivery begins.
+//
+// Thread safety: Submit* enqueues client actions from arbitrary threads
+// through SendLocal. Only the network worker that opened the combine
+// scope may buffer — everyone else must go straight to the network — so
+// the routing decision keys on an atomic owner-thread id. Client threads
+// read `combine_owner_`, see "not me", and take the direct path; the
+// buffers themselves are touched only by the owner.
 
 #ifndef LAZYTREE_SERVER_QUEUE_MANAGER_H_
 #define LAZYTREE_SERVER_QUEUE_MANAGER_H_
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "src/net/transport.h"
+#include "src/util/logging.h"
 
 namespace lazytree {
 
@@ -24,6 +46,10 @@ class QueueManager {
 
   /// Routes one action to `dest` (which may be self_).
   void SendAction(ProcessorId dest, Action action) {
+    if (CombiningHere()) {
+      BufferAction(dest, std::move(action));
+      return;
+    }
     network_->Send(Message(self_, dest, std::move(action)));
   }
 
@@ -37,11 +63,77 @@ class QueueManager {
     }
   }
 
+  /// Opens a combining scope owned by the calling thread. Nestable (a
+  /// batch scope around per-message scopes); only the outermost
+  /// EndCombine flushes. Must not be called while another thread owns a
+  /// scope — the Processor only opens scopes from its (single) delivery
+  /// thread, which the network serializes.
+  void BeginCombine() {
+    if (combine_depth_ == 0) {
+      combine_owner_.store(std::this_thread::get_id(),
+                           std::memory_order_release);
+    }
+    ++combine_depth_;
+  }
+
+  /// Closes the scope; the outermost close flushes every buffered
+  /// destination (first-touch order) as one message each.
+  void EndCombine() {
+    LAZYTREE_CHECK(combine_depth_ > 0) << "unbalanced EndCombine";
+    if (--combine_depth_ > 0) return;
+    combine_owner_.store(std::thread::id(), std::memory_order_release);
+    Flush();
+  }
+
   net::Network* network() { return network_; }
 
  private:
+  bool CombiningHere() const {
+    // Owner-thread check doubles as the "is combining active" check:
+    // client threads never match, and they must not, because the buffers
+    // are owner-confined.
+    return combine_owner_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+
+  void BufferAction(ProcessorId dest, Action action) {
+    if (pending_.size() <= dest) pending_.resize(dest + 1);
+    Message& m = pending_[dest];
+    if (m.actions.empty()) {
+      m.from = self_;
+      m.to = dest;
+      flush_order_.push_back(dest);
+    }
+    m.actions.push_back(std::move(action));
+  }
+
+  void Flush() {
+    if (flush_order_.empty()) return;
+    size_t actions = 0;
+    size_t messages = 0;
+    for (ProcessorId dest : flush_order_) {
+      Message& m = pending_[dest];
+      if (m.actions.empty()) continue;
+      actions += m.actions.size();
+      ++messages;
+      network_->Send(std::move(m));
+      m = Message();
+    }
+    flush_order_.clear();
+    if (actions > messages) {
+      network_->stats().OnCombined(actions - messages);
+    }
+  }
+
   ProcessorId self_;
   net::Network* network_;
+
+  // Combining state. `combine_owner_` is the only field other threads
+  // read; depth and buffers are owner-thread-confined.
+  std::atomic<std::thread::id> combine_owner_{};
+  int combine_depth_ = 0;
+  std::vector<Message> pending_;        // indexed by destination
+  std::vector<ProcessorId> flush_order_;  // first-touch destinations
 };
 
 }  // namespace lazytree

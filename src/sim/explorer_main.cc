@@ -53,6 +53,7 @@ struct CliOptions {
   std::string record_path;          // save first episode's trace here
   bool minimize = true;
   bool verbose = false;
+  bool multicore = false;  // combine_ops + local_fastpath on (sim vetting)
 };
 
 void Usage() {
@@ -63,7 +64,7 @@ void Usage() {
                "    [--fanout=N] [--pct-depth=N] [--leaf-replication=N]\n"
                "    [--drop=P] [--dup=P] [--crashes=N] [--trace-out=DIR]\n"
                "    [--replay=TRACE] [--record=TRACE] [--no-minimize]\n"
-               "    [--verbose]\n");
+               "    [--multicore] [--verbose]\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -97,6 +98,7 @@ bool ParseCli(int argc, char** argv, CliOptions* cli) {
     else if (ParseFlag(arg, "record", &v)) cli->record_path = v;
     else if (arg == "--no-minimize") cli->minimize = false;
     else if (arg == "--minimize") cli->minimize = true;
+    else if (arg == "--multicore") cli->multicore = true;
     else if (arg == "--verbose") cli->verbose = true;
     else if (arg == "--help" || arg == "-h") { Usage(); return false; }
     else {
@@ -161,6 +163,8 @@ EpisodeConfig BuildConfig(const CliOptions& cli, ProtocolKind protocol,
   config.fanout = cli.fanout;
   config.leaf_replication =
       cli.leaf_replication > 0 ? cli.leaf_replication : 1;
+  config.combine_ops = cli.multicore;
+  config.local_fastpath = cli.multicore;
   config.drop = cli.drop;
   config.dup = cli.dup;
   config.strategy.kind = strategy;
@@ -201,6 +205,7 @@ std::string ReproCommand(const CliOptions& cli, const EpisodeConfig& config,
   cmd += " --keyspace=" + std::to_string(config.key_space);
   cmd += " --fanout=" + std::to_string(config.fanout);
   cmd += " --leaf-replication=" + std::to_string(config.leaf_replication);
+  if (config.combine_ops || config.local_fastpath) cmd += " --multicore";
   (void)cli;
   return cmd;
 }

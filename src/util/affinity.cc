@@ -1,0 +1,51 @@
+#include "src/util/affinity.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace lazytree {
+
+unsigned AvailableCpus() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool PinCurrentThreadToCpu(unsigned cpu) {
+#if defined(__linux__)
+  // Map the dense worker index onto the CPUs actually available to this
+  // process (the affinity mask may be sparse inside containers).
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  const int n = CPU_COUNT(&allowed);
+  if (n <= 0) return false;
+  int target = static_cast<int>(cpu % static_cast<unsigned>(n));
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (!CPU_ISSET(c, &allowed)) continue;
+    if (target-- == 0) {
+      cpu_set_t one;
+      CPU_ZERO(&one);
+      CPU_SET(c, &one);
+      return pthread_setaffinity_np(pthread_self(), sizeof(one), &one) == 0;
+    }
+  }
+  return false;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace lazytree

@@ -1,0 +1,27 @@
+// CPU affinity pinning for the per-processor worker threads.
+//
+// Pinning each ThreadNetwork worker to a fixed core keeps a processor's
+// node store hot in one L1/L2 and stops the scheduler from migrating
+// workers mid-batch (a migration invalidates the cache-resident tree
+// upper levels and shows up as a latency spike). Pinning is best-effort:
+// on non-Linux hosts or restricted environments the calls are no-ops and
+// the transport runs unpinned.
+
+#ifndef LAZYTREE_UTIL_AFFINITY_H_
+#define LAZYTREE_UTIL_AFFINITY_H_
+
+namespace lazytree {
+
+/// Number of CPUs the current thread may run on (the affinity mask
+/// cardinality, not the machine core count — containers often restrict
+/// it). Returns at least 1.
+unsigned AvailableCpus();
+
+/// Pins the calling thread to `cpu` (modulo the available-CPU count so
+/// callers can pass a dense worker index on any machine). Returns true
+/// if the affinity call succeeded, false if unsupported or refused.
+bool PinCurrentThreadToCpu(unsigned cpu);
+
+}  // namespace lazytree
+
+#endif  // LAZYTREE_UTIL_AFFINITY_H_

@@ -39,6 +39,7 @@ class Histogram {
   double P50() const { return Percentile(50); }
   double P95() const { return Percentile(95); }
   double P99() const { return Percentile(99); }
+  double P999() const { return Percentile(99.9); }
 
   /// One-line summary: "count=... mean=... p50=... p95=... p99=... max=...".
   std::string Summary() const;

@@ -34,23 +34,19 @@ Key ZipfianDist::KeyForRank(uint64_t rank) const {
   return 1 + (h % (space_ - 1));
 }
 
-Key ZipfianDist::Next(Rng& rng) {
+uint64_t ZipfianDist::NextRank(Rng& rng) const {
   // Gray et al. "Quickly generating billion-record synthetic databases".
   const double u = rng.NextDouble();
   const double uz = u * zetan_;
-  uint64_t rank;
-  if (uz < 1.0) {
-    rank = 1;
-  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
-    rank = 2;
-  } else {
-    rank = 1 + static_cast<uint64_t>(
-                   static_cast<double>(n_) *
-                   std::pow(eta_ * u - eta_ + 1.0, alpha_));
-    if (rank > n_) rank = n_;
-  }
-  return KeyForRank(rank);
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  uint64_t rank = 1 + static_cast<uint64_t>(
+                          static_cast<double>(n_) *
+                          std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank > n_ ? n_ : rank;
 }
+
+Key ZipfianDist::Next(Rng& rng) { return KeyForRank(NextRank(rng)); }
 
 std::unique_ptr<KeyDistribution> MakeDistribution(const std::string& name,
                                                   Key space) {

@@ -270,14 +270,17 @@ void CheckDispatchTotality(const std::string& action_h,
     std::string body;
   };
   // The dispatch surface is BaseProtocol::Handle plus the kReturnValue
-  // interception in Processor::Deliver (completions never reach the
-  // protocol layer; they resolve client ops in the tracker).
+  // interception in Processor::HandleAction (completions never reach the
+  // protocol layer; they resolve client ops in the tracker — Deliver and
+  // DeliverBatch both funnel through HandleAction).
   const Table tables[] = {
       {"the BaseProtocol::Handle / Processor::Deliver dispatch",
        "protocol/base.cc",
        StripLineComments(
            FunctionBody(base_cc, R"(void\s+BaseProtocol::Handle\s*\()") +
-           FunctionBody(processor_cc, R"(void\s+Processor::Deliver\s*\()"))},
+           FunctionBody(processor_cc, R"(void\s+Processor::Deliver\s*\()") +
+           FunctionBody(processor_cc,
+                        R"(void\s+Processor::HandleAction\s*\()"))},
       {"ActionKindName", "msg/action.cc",
        StripLineComments(FunctionBody(
            action_cc, R"(const\s+char\*\s+ActionKindName\s*\()"))},
@@ -313,6 +316,11 @@ const char* const kApprovedConcurrencyFiles[] = {
     // The primitives themselves.
     "src/util/threading.h", "src/util/threading.cc",
     "src/util/mpsc_queue.h",
+    // Worker-thread CPU pinning (pthread affinity syscalls only). The
+    // op-combining QueueManager is deliberately NOT here: its only
+    // cross-thread state is one atomic thread-id, and it must stay that
+    // way.
+    "src/util/affinity.h", "src/util/affinity.cc",
     // The thread transport and its decorators.
     "src/net/thread_network.h", "src/net/thread_network.cc",
     "src/net/piggyback.h", "src/net/piggyback.cc",
@@ -326,8 +334,11 @@ const char* const kApprovedConcurrencyFiles[] = {
 };
 
 void CheckConcurrencyConfinement(const fs::path& root, Report& report) {
+  // Also bans raw pthread blocking/affinity calls: everything threaded
+  // must go through the approved wrappers so TSan and the execution-model
+  // audit see one surface.
   const std::regex banned(
-      R"(\bstd::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?|timed_mutex)\b|\bBlockingQueue\s*<)");
+      R"(\bstd::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?|timed_mutex)\b|\bBlockingQueue\s*<|\bpthread_(mutex|cond|rwlock|barrier|spin)_\w+\s*\(|\bpthread_setaffinity_np\s*\()");
   std::set<std::string> approved(std::begin(kApprovedConcurrencyFiles),
                                  std::end(kApprovedConcurrencyFiles));
   for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
