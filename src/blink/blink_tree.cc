@@ -8,7 +8,7 @@ namespace lazytree {
 
 BlinkTree::BlinkTree(size_t max_entries) : max_entries_(max_entries) {
   LAZYTREE_CHECK(max_entries_ >= 2) << "capacity too small to split";
-  root_.store(NewNode(/*level=*/0));
+  root_.store(NewNode(/*level=*/0), std::memory_order_release);
 }
 
 BlinkTree::~BlinkTree() = default;

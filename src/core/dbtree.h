@@ -51,8 +51,9 @@ class DBTree {
 
  private:
   ProcessorId NextHome() {
-    return static_cast<ProcessorId>(next_home_.fetch_add(1) %
-                                    cluster_->size());
+    return static_cast<ProcessorId>(
+        next_home_.fetch_add(1, std::memory_order_relaxed) %
+        cluster_->size());
   }
 
   std::unique_ptr<Cluster> cluster_;

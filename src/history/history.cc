@@ -1,5 +1,6 @@
 #include "src/history/history.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/util/logging.h"
@@ -87,6 +88,50 @@ std::vector<IssuedUpdate> HistoryLog::Issued() const {
 size_t HistoryLog::RecordCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return record_count_;
+}
+
+void HistoryLog::MixState(Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  fp.Mix(copies_.size());
+  for (const auto& [key, hist] : copies_) {  // std::map: sorted by CopyKey
+    fp.Mix(key.node.v);
+    fp.Mix(key.copy);
+    fp.Mix(hist.live ? 1 : 0);
+    fp.Mix(hist.inherited.size());
+    for (UpdateId u : hist.inherited) fp.Mix(u);
+    fp.Mix(hist.records.size());
+    for (const Record& r : hist.records) {
+      fp.Mix(r.update);
+      fp.Mix(static_cast<uint64_t>(r.cls));
+      fp.Mix(r.node.v);
+      fp.Mix(r.copy);
+      fp.Mix(r.initial ? 1 : 0);
+      fp.Mix(r.key);
+      fp.Mix(r.value);
+      fp.Mix(r.new_node.v);
+      fp.Mix(r.sep);
+      fp.Mix(r.version);
+      fp.Mix(r.link);
+      fp.Mix(r.rewritten ? 1 : 0);
+    }
+  }
+  // Issue order is a global append order and differs between equivalent
+  // interleavings; sort by UpdateId for a canonical digest.
+  std::vector<const IssuedUpdate*> issued;
+  issued.reserve(issued_.size());
+  for (const IssuedUpdate& u : issued_) issued.push_back(&u);
+  std::sort(issued.begin(), issued.end(),
+            [](const IssuedUpdate* a, const IssuedUpdate* b) {
+              return a->update < b->update;
+            });
+  fp.Mix(issued.size());
+  for (const IssuedUpdate* u : issued) {
+    fp.Mix(u->update);
+    fp.Mix(static_cast<uint64_t>(u->cls));
+    fp.Mix(u->node.v);
+    fp.Mix(u->key);
+    fp.Mix(u->value);
+  }
 }
 
 void HistoryLog::Reset() {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/history/record.h"
+#include "src/msg/fingerprint.h"
 
 namespace lazytree::history {
 
@@ -68,6 +69,13 @@ class HistoryLog {
 
   /// Total records appended (for tests).
   size_t RecordCount() const;
+
+  /// Folds the collected histories into a verifier state fingerprint.
+  /// Canonical form: copies sorted by CopyKey with records in per-copy
+  /// application order (preserved across equivalent interleavings), and
+  /// issued updates sorted by UpdateId — the global issue order varies
+  /// between schedules that only reorder independent deliveries.
+  void MixState(Fingerprint& fp) const;
 
   void Reset();
 

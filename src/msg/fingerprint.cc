@@ -1,0 +1,19 @@
+#include "src/msg/fingerprint.h"
+
+#include "src/msg/wire.h"
+
+namespace lazytree {
+
+void MixAction(Fingerprint& fp, const Action& a) {
+  wire::Writer w;
+  wire::EncodeAction(w, a);
+  fp.MixBytes(w.Take());
+}
+
+void MixSnapshot(Fingerprint& fp, const NodeSnapshot& s) {
+  wire::Writer w;
+  wire::EncodeSnapshot(w, s);
+  fp.MixBytes(w.Take());
+}
+
+}  // namespace lazytree

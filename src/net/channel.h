@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "src/msg/message.h"
@@ -20,6 +21,16 @@ class Channel {
 
   /// Pops the head. Precondition: !Empty().
   std::vector<uint8_t> Pop();
+
+  /// Queued message at `index` (0 = head). Precondition: index < Size().
+  /// The exhaustive verifier inspects pending messages without popping.
+  const std::vector<uint8_t>& Peek(size_t index = 0) const {
+    return queue_[index];
+  }
+
+  /// Swaps the first two queued messages (planted-mutation self-test:
+  /// deliberately violates per-channel FIFO). Precondition: Size() >= 2.
+  void SwapFirstTwo() { std::swap(queue_[0], queue_[1]); }
 
   bool Empty() const { return queue_.empty(); }
   size_t Size() const { return queue_.size(); }

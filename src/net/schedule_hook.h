@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/msg/key.h"
@@ -26,6 +27,34 @@ struct ChannelView {
   ProcessorId to = kInvalidProcessor;
   size_t queued = 0;  ///< messages waiting on this channel
 };
+
+/// Planted protocol mutation (exhaustive-verifier self-test): a deliberate
+/// one-shot violation of a delivery assumption, applied deterministically at
+/// the first qualifying opportunity so that a recorded schedule replays the
+/// mutation at the same point.
+enum class ScheduleMutation : uint8_t {
+  kNone = 0,
+  /// Strips the first relayed lazy update (relayed insert/delete) from a
+  /// delivered message: one copy silently misses an update, which the
+  /// §3.1 compatible-histories check must flag.
+  kDropRelay = 1,
+  /// Swaps the first two messages of a channel when they carry two
+  /// same-kind membership registrations of the same node with different
+  /// versions (two joins or two unjoins, necessarily of different
+  /// members): breaks per-channel FIFO exactly where the version-gated
+  /// registration order matters — the gate drops the older registration,
+  /// permanently diverging the receiving copy's membership. Link-change
+  /// reorderings (gated per link) and mixed join/unjoin pairs of one
+  /// member (which net out) are absorbed by design, so they do not
+  /// qualify.
+  kSwapOrdered = 2,
+};
+
+const char* ScheduleMutationName(ScheduleMutation m);
+
+/// Parses "none" / "drop-relay" / "swap-ordered"; returns kNone for
+/// anything else (callers validate separately when needed).
+ScheduleMutation ParseScheduleMutation(const std::string& name);
 
 /// What became of one scheduled message.
 enum class DeliveryOutcome : uint8_t {

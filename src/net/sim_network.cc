@@ -5,6 +5,21 @@
 
 namespace lazytree::net {
 
+const char* ScheduleMutationName(ScheduleMutation m) {
+  switch (m) {
+    case ScheduleMutation::kNone: return "none";
+    case ScheduleMutation::kDropRelay: return "drop-relay";
+    case ScheduleMutation::kSwapOrdered: return "swap-ordered";
+  }
+  return "?";
+}
+
+ScheduleMutation ParseScheduleMutation(const std::string& name) {
+  if (name == "drop-relay") return ScheduleMutation::kDropRelay;
+  if (name == "swap-ordered") return ScheduleMutation::kSwapOrdered;
+  return ScheduleMutation::kNone;
+}
+
 SimNetwork::SimNetwork(uint64_t seed) : rng_(seed) {}
 
 void SimNetwork::Register(ProcessorId id, Receiver* receiver) {
@@ -111,7 +126,11 @@ bool SimNetwork::Step() {
     index = rng_.Below(nonempty_.size());
   }
   const auto& pick = nonempty_[index];
-  std::vector<uint8_t> encoded = channels_[pick].Pop();
+  Channel& channel = channels_[pick];
+  if (mutation_ == ScheduleMutation::kSwapOrdered && !mutation_applied_) {
+    mutation_applied_ = MaybeSwapOrdered(channel);
+  }
+  std::vector<uint8_t> encoded = channel.Pop();
   --pending_;
 
   // Resolve the message's fate: a crashed destination always drops; a
@@ -142,6 +161,9 @@ bool SimNetwork::Step() {
   auto decoded = wire::DecodeMessage(encoded);
   LAZYTREE_CHECK(decoded.ok()) << "wire corruption: "
                                << decoded.status().ToString();
+  if (mutation_ == ScheduleMutation::kDropRelay && !mutation_applied_) {
+    mutation_applied_ = MaybeDropRelay(*decoded);
+  }
   const bool dup = forced.has_value()
                        ? outcome == DeliveryOutcome::kDuplicate
                        : dup_prob_ > 0 && rng_.Chance(dup_prob_);
@@ -160,6 +182,69 @@ bool SimNetwork::Step() {
   }
   in_step_ = false;
   return true;
+}
+
+const std::vector<uint8_t>& SimNetwork::PeekChannel(ProcessorId from,
+                                                    ProcessorId to,
+                                                    size_t index) const {
+  auto it = channels_.find({from, to});
+  LAZYTREE_CHECK(it != channels_.end() && index < it->second.Size())
+      << "PeekChannel(" << from << "," << to << "," << index
+      << ") out of range";
+  return it->second.Peek(index);
+}
+
+void SimNetwork::MixPending(Fingerprint& fp) const {
+  size_t nonempty = 0;
+  for (const auto& [key, ch] : channels_) {
+    if (!ch.Empty()) ++nonempty;
+  }
+  fp.Mix(nonempty);
+  for (const auto& [key, ch] : channels_) {  // std::map: sorted by (from,to)
+    if (ch.Empty()) continue;
+    fp.Mix(key.first);
+    fp.Mix(key.second);
+    fp.Mix(ch.Size());
+    for (size_t i = 0; i < ch.Size(); ++i) fp.MixBytes(ch.Peek(i));
+  }
+  fp.Mix(crashed_.size());
+  for (size_t p = 0; p < crashed_.size(); ++p) fp.Mix(crashed_[p] ? 1 : 0);
+  for (uint64_t word : rng_.state()) fp.Mix(word);
+  fp.Mix(mutation_applied_ ? 1 : 0);
+}
+
+bool SimNetwork::MaybeSwapOrdered(Channel& ch) {
+  if (ch.Size() < 2) return false;
+  auto head = wire::DecodeMessage(ch.Peek(0));
+  auto second = wire::DecodeMessage(ch.Peek(1));
+  LAZYTREE_CHECK(head.ok() && second.ok()) << "wire corruption in peek";
+  for (const Action& a : head->actions) {
+    if (OrderClassOf(a.kind) != OrderClass::kMembership) continue;
+    for (const Action& b : second->actions) {
+      // Only same-kind registration pairs (two joins, two unjoins) about
+      // the same node: the version gate then drops the older registration
+      // outright, leaving the receiving copy's membership (and history)
+      // permanently short one member. Mixed join/unjoin pairs of one
+      // member net out to the same final membership, and link-change
+      // reorderings are absorbed by the per-link gating — neither is a
+      // detectable violation by design.
+      if (b.kind != a.kind) continue;
+      if (a.target != b.target || a.version == b.version) continue;
+      ch.SwapFirstTwo();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SimNetwork::MaybeDropRelay(Message& m) {
+  for (auto it = m.actions.begin(); it != m.actions.end(); ++it) {
+    if (it->IsRelayed() && OrderClassOf(it->kind) == OrderClass::kLazy) {
+      m.actions.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 bool SimNetwork::WaitQuiescent(std::chrono::milliseconds timeout) {

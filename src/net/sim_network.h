@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/msg/fingerprint.h"
 #include "src/net/channel.h"
 #include "src/net/schedule_hook.h"
 #include "src/net/transport.h"
@@ -89,7 +90,36 @@ class SimNetwork : public Network {
   /// Total deliveries performed so far.
   uint64_t delivered() const { return delivered_; }
 
+  // --- exhaustive-verifier hooks (queue mode only) ---
+
+  /// Encoded message at queue position `index` of channel (from, to).
+  /// Precondition: the channel exists and index < its size. The verifier
+  /// decodes heads to evaluate delivery independence (POR).
+  const std::vector<uint8_t>& PeekChannel(ProcessorId from, ProcessorId to,
+                                          size_t index = 0) const;
+
+  /// Folds all in-flight state into a verifier fingerprint: every
+  /// non-empty channel (sorted by (from, to)) with its queued message
+  /// bytes in FIFO order, plus crash flags and the scheduler PRNG.
+  void MixPending(Fingerprint& fp) const;
+
+  /// Plants a one-shot protocol mutation (self-test of the verifier): the
+  /// mutation fires at the first qualifying delivery and never again, so
+  /// the same delivery schedule always reproduces it. Call before any
+  /// Step.
+  void PlantMutation(ScheduleMutation mutation) { mutation_ = mutation; }
+
+  /// True once a planted mutation has fired.
+  bool mutation_applied() const { return mutation_applied_; }
+
  private:
+  /// Applies a planted kSwapOrdered to the picked channel if its first two
+  /// messages qualify; returns true when the swap fired.
+  bool MaybeSwapOrdered(Channel& ch);
+  /// Applies a planted kDropRelay to a decoded message about to be
+  /// delivered; returns true when an action was stripped.
+  bool MaybeDropRelay(Message& m);
+
   Rng rng_;
   std::vector<Receiver*> receivers_;
   // Channel per ordered (from, to) pair, created lazily. A sorted map keeps
@@ -104,6 +134,8 @@ class SimNetwork : public Network {
   size_t pending_ = 0;
   uint64_t delivered_ = 0;
   bool in_step_ = false;
+  ScheduleMutation mutation_ = ScheduleMutation::kNone;
+  bool mutation_applied_ = false;
   double drop_prob_ = 0;
   double dup_prob_ = 0;
   uint64_t dropped_ = 0;

@@ -80,13 +80,15 @@ StatsSnapshot NetworkStats::Snapshot() const {
 }
 
 void NetworkStats::Reset() {
-  remote_messages_ = 0;
-  local_messages_ = 0;
-  remote_bytes_ = 0;
-  piggybacked_actions_ = 0;
-  combined_actions_ = 0;
-  fastpath_reads_ = 0;
-  for (auto& c : actions_by_kind_) c = 0;
+  // Pure counters with no ordering obligations: relaxed, like the
+  // increments. A Reset racing in-flight sends is inherently approximate.
+  remote_messages_.store(0, std::memory_order_relaxed);
+  local_messages_.store(0, std::memory_order_relaxed);
+  remote_bytes_.store(0, std::memory_order_relaxed);
+  piggybacked_actions_.store(0, std::memory_order_relaxed);
+  combined_actions_.store(0, std::memory_order_relaxed);
+  fastpath_reads_.store(0, std::memory_order_relaxed);
+  for (auto& c : actions_by_kind_) c.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace lazytree::net

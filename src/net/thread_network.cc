@@ -26,7 +26,8 @@ ThreadNetwork::ThreadNetwork(Options options)
 ThreadNetwork::~ThreadNetwork() { Stop(); }
 
 void ThreadNetwork::Register(ProcessorId id, Receiver* receiver) {
-  LAZYTREE_CHECK(!started_.load()) << "register after Start";
+  LAZYTREE_CHECK(!started_.load(std::memory_order_acquire))
+      << "register after Start";
   if (stations_.size() <= id) stations_.resize(id + 1);
   LAZYTREE_CHECK(stations_[id] == nullptr) << "double register p" << id;
   stations_[id] = std::make_unique<Station>();
@@ -64,7 +65,11 @@ void ThreadNetwork::Send(Message m) {
 
 void ThreadNetwork::Start() {
   bool expected = false;
-  if (!started_.compare_exchange_strong(expected, true)) return;
+  if (!started_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+    return;
+  }
   for (auto& station : stations_) {
     LAZYTREE_CHECK(station != nullptr) << "processor ids must be dense";
     station->worker = std::thread(&ThreadNetwork::WorkerLoop, this,
@@ -110,7 +115,11 @@ void ThreadNetwork::OnHandled(int64_t n) {
 
 void ThreadNetwork::Stop() {
   bool expected = false;
-  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  if (!stopped_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+    return;
+  }
   for (auto& station : stations_) {
     if (station) {
       station->inbox.Close();

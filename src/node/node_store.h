@@ -5,9 +5,13 @@
 #ifndef LAZYTREE_NODE_NODE_STORE_H_
 #define LAZYTREE_NODE_NODE_STORE_H_
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "src/msg/fingerprint.h"
 #include "src/node/node.h"
 
 namespace lazytree {
@@ -67,6 +71,29 @@ class NodeStore {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const auto& [id, node] : nodes_) fn(*node);
+  }
+
+  /// Folds every local copy (sorted by id, encoded via its snapshot so all
+  /// node fields are covered), forwarding address, and the root hint into
+  /// a verifier state fingerprint.
+  void MixState(Fingerprint& fp) const {
+    std::vector<const Node*> copies;
+    copies.reserve(nodes_.size());
+    for (const auto& [id, node] : nodes_) copies.push_back(node.get());
+    std::sort(copies.begin(), copies.end(),
+              [](const Node* a, const Node* b) { return a->id() < b->id(); });
+    fp.Mix(copies.size());
+    for (const Node* n : copies) MixSnapshot(fp, n->ToSnapshot());
+    std::vector<std::pair<NodeId, ProcessorId>> fwd(forwarding_.begin(),
+                                                    forwarding_.end());
+    std::sort(fwd.begin(), fwd.end());
+    fp.Mix(fwd.size());
+    for (const auto& [id, host] : fwd) {
+      fp.Mix(id.v);
+      fp.Mix(host);
+    }
+    fp.Mix(root_hint_.v);
+    fp.Mix(static_cast<uint64_t>(static_cast<int64_t>(root_level_)));
   }
 
  private:

@@ -1,5 +1,7 @@
 #include "src/protocol/base.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 
 namespace lazytree {
@@ -47,6 +49,21 @@ void BaseProtocol::Handle(const Action& action) {
     default:
       Unexpected(a);
   }
+}
+
+void BaseProtocol::MixState(Fingerprint& fp) const {
+  std::vector<NodeId> ids;
+  ids.reserve(parked_.size());
+  for (const auto& [id, actions] : parked_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  fp.Mix(ids.size());
+  for (NodeId id : ids) {
+    fp.Mix(id.v);
+    const auto& actions = parked_.at(id);
+    fp.Mix(actions.size());
+    for (const Action& a : actions) MixAction(fp, a);
+  }
+  for (uint64_t word : rng_.state()) fp.Mix(word);
 }
 
 void BaseProtocol::Unexpected(const Action& a) {

@@ -27,6 +27,10 @@ class BaseProtocol : public ProtocolHandler {
 
   void Handle(const Action& action) override;
 
+  /// Parked actions + PRNG position. Subclasses with extra scratch state
+  /// override, call the base, and mix their own (sorted canonically).
+  void MixState(Fingerprint& fp) const override;
+
  protected:
   // --- per-kind handlers; protocols override what they change ---
   virtual void HandleSearch(Action a) { Navigate(std::move(a)); }

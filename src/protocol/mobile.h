@@ -16,7 +16,10 @@
 #ifndef LAZYTREE_PROTOCOL_MOBILE_H_
 #define LAZYTREE_PROTOCOL_MOBILE_H_
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/protocol/base.h"
 
@@ -33,6 +36,20 @@ class MobileProtocol : public BaseProtocol {
   /// Test-only: drops every cached node address, simulating a processor
   /// whose location knowledge is entirely stale/absent.
   void TEST_ForgetAddresses() { addr_.clear(); }
+
+  void MixState(Fingerprint& fp) const override {
+    BaseProtocol::MixState(fp);
+    std::vector<std::pair<NodeId, AddrEntry>> addrs(addr_.begin(),
+                                                    addr_.end());
+    std::sort(addrs.begin(), addrs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    fp.Mix(addrs.size());
+    for (const auto& [id, entry] : addrs) {
+      fp.Mix(id.v);
+      fp.Mix(entry.host);
+      fp.Mix(entry.version);
+    }
+  }
 
  protected:
   std::vector<ProcessorId> PlaceNewNode(NodeId id, int32_t level) override {

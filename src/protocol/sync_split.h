@@ -11,7 +11,9 @@
 #ifndef LAZYTREE_PROTOCOL_SYNC_SPLIT_H_
 #define LAZYTREE_PROTOCOL_SYNC_SPLIT_H_
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "src/protocol/fixed.h"
 
@@ -23,6 +25,18 @@ class SyncSplitProtocol : public FixedCopiesProtocol {
 
   /// Initial inserts deferred by split AAS so far (tests, bench F5).
   uint64_t deferred_inserts() const { return deferred_inserts_; }
+
+  void MixState(Fingerprint& fp) const override {
+    BaseProtocol::MixState(fp);
+    std::vector<std::pair<NodeId, uint32_t>> acks(pending_acks_.begin(),
+                                                  pending_acks_.end());
+    std::sort(acks.begin(), acks.end());
+    fp.Mix(acks.size());
+    for (const auto& [id, count] : acks) {
+      fp.Mix(id.v);
+      fp.Mix(count);
+    }
+  }
 
  protected:
   void InitiateSplit(Node& n) override;

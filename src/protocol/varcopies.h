@@ -20,9 +20,11 @@
 #ifndef LAZYTREE_PROTOCOL_VARCOPIES_H_
 #define LAZYTREE_PROTOCOL_VARCOPIES_H_
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "src/protocol/mobile.h"
 
@@ -36,6 +38,39 @@ class VarCopiesProtocol : public MobileProtocol {
   uint64_t unjoins_processed() const { return unjoins_processed_; }
   uint64_t late_joiner_rerelays() const { return late_joiner_rerelays_; }
   uint64_t discarded_relays() const { return discarded_relays_; }
+
+  void MixState(Fingerprint& fp) const override {
+    MobileProtocol::MixState(fp);
+    std::vector<NodeId> jv;
+    jv.reserve(join_versions_.size());
+    for (const auto& [id, members] : join_versions_) jv.push_back(id);
+    std::sort(jv.begin(), jv.end());
+    fp.Mix(jv.size());
+    for (NodeId id : jv) {
+      fp.Mix(id.v);
+      const auto& members = join_versions_.at(id);  // std::map: sorted
+      fp.Mix(members.size());
+      for (const auto& [member, version] : members) {
+        fp.Mix(member);
+        fp.Mix(version);
+      }
+    }
+    fp.Mix(pending_joins_.size());
+    for (NodeId id : pending_joins_) fp.Mix(id.v);  // std::set: sorted
+    std::vector<NodeId> pk;
+    pk.reserve(pending_join_keys_.size());
+    for (const auto& [id, keys] : pending_join_keys_) pk.push_back(id);
+    std::sort(pk.begin(), pk.end());
+    fp.Mix(pk.size());
+    for (NodeId id : pk) {
+      fp.Mix(id.v);
+      const auto& keys = pending_join_keys_.at(id);  // per-copy arrival order
+      fp.Mix(keys.size());
+      for (Key k : keys) fp.Mix(k);
+    }
+    fp.Mix(unjoined_.size());
+    for (NodeId id : unjoined_) fp.Mix(id.v);  // std::set: sorted
+  }
 
  protected:
   // Placement: mobile leaves, everywhere-roots, membership-inherited

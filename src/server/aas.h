@@ -9,10 +9,12 @@
 #ifndef LAZYTREE_SERVER_AAS_H_
 #define LAZYTREE_SERVER_AAS_H_
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
 #include "src/msg/action.h"
+#include "src/msg/fingerprint.h"
 
 namespace lazytree {
 
@@ -38,6 +40,23 @@ class AasRegistry {
   /// Abandons every active AAS and its deferred actions (crash injection:
   /// the state was volatile).
   void Reset() { active_.clear(); }
+
+  /// Folds active AAS nodes (sorted) and their deferred actions (arrival
+  /// order, which is per-copy and therefore canonical) into a verifier
+  /// state fingerprint.
+  void MixState(Fingerprint& fp) const {
+    std::vector<NodeId> ids;
+    ids.reserve(active_.size());
+    for (const auto& [id, parked] : active_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    fp.Mix(ids.size());
+    for (NodeId id : ids) {
+      fp.Mix(id.v);
+      const auto& parked = active_.at(id);
+      fp.Mix(parked.size());
+      for (const Action& a : parked) MixAction(fp, a);
+    }
+  }
 
  private:
   std::unordered_map<NodeId, std::vector<Action>> active_;

@@ -7,12 +7,14 @@
 #ifndef LAZYTREE_SERVER_OP_TRACKER_H_
 #define LAZYTREE_SERVER_OP_TRACKER_H_
 
+#include <algorithm>
 #include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/msg/action.h"
+#include "src/msg/fingerprint.h"
 #include "src/util/status.h"
 
 namespace lazytree {
@@ -47,6 +49,20 @@ class OpTracker {
 
   size_t Outstanding() const;
   uint64_t completed() const { return completed_; }
+
+  /// Folds the tracker's observable state (sorted outstanding op ids plus
+  /// the issue/completion counters) into a verifier state fingerprint.
+  void MixState(Fingerprint& fp) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<OpId> ids;
+    ids.reserve(pending_.size());
+    for (const auto& [id, cb] : pending_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    fp.Mix(ids.size());
+    for (OpId id : ids) fp.Mix(id);
+    fp.Mix(next_seq_);
+    fp.Mix(completed_);
+  }
 
  private:
   ProcessorId self_;

@@ -100,6 +100,11 @@ class Processor : public net::Receiver {
     return (static_cast<UpdateId>(id_) << 32) | next_update_seq_++;
   }
 
+  // Id-allocator positions, exposed for verifier state fingerprints (two
+  // states that will mint different ids behave differently later).
+  uint32_t next_node_seq() const { return next_node_seq_; }
+  uint32_t next_update_seq() const { return next_update_seq_; }
+
   /// Installs a node copy directly (bootstrap and protocol internals) and
   /// registers its creation with the history log. The node's
   /// applied_updates seed the backwards extension.

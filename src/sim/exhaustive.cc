@@ -1,0 +1,498 @@
+#include "src/sim/exhaustive.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "src/core/cluster.h"
+#include "src/msg/wire.h"
+#include "src/net/sim_network.h"
+#include "src/sim/minimize.h"
+#include "src/util/logging.h"
+
+namespace lazytree::sim {
+namespace {
+
+using ChannelKey = std::pair<ProcessorId, ProcessorId>;
+
+/// Canonical fingerprint of the complete configuration at a decision
+/// point: every processor's store / op tracker / AAS registry / protocol
+/// handler, the shared history log, all in-flight messages, and the
+/// episode's progress counters (round, deliveries-this-round, completed
+/// operation outcomes). Two states with equal fingerprints are treated as
+/// identical by the dedup cache, so every canonicalization rule lives in
+/// the MixState implementations this composes.
+uint64_t StateFingerprint(Cluster& cluster, net::SimNetwork& sim,
+                          const std::vector<EpisodeOp>& ops, uint32_t round,
+                          uint64_t picks) {
+  Fingerprint fp;
+  for (ProcessorId p = 0; p < cluster.size(); ++p) {
+    Processor& proc = cluster.processor(p);
+    fp.Mix(p);
+    fp.Mix(proc.crashed() ? 1 : 0);
+    fp.Mix(proc.crash_epoch());
+    fp.Mix(proc.next_node_seq());
+    fp.Mix(proc.next_update_seq());
+    proc.store().MixState(fp);
+    proc.ops().MixState(fp);
+    proc.aas().MixState(fp);
+    if (proc.handler() != nullptr) proc.handler()->MixState(fp);
+  }
+  cluster.history_log().MixState(fp);
+  sim.MixPending(fp);
+  fp.Mix(round);
+  fp.Mix(picks);
+  fp.Mix(ops.size());
+  for (const EpisodeOp& op : ops) {
+    fp.Mix(op.done ? 1 : 0);
+    if (op.done) {
+      fp.Mix(static_cast<uint64_t>(op.result.status.code()));
+      fp.Mix(op.result.value);
+    }
+  }
+  return fp.digest();
+}
+
+/// True when delivering the head messages of `c1` and `c2` in either order
+/// provably reaches the same state: the destinations are distinct
+/// processors (a delivery mutates only its destination's local state), and
+/// every cross pair of carried actions either commutes per the §3.1 table
+/// or addresses different nodes. The action check is deliberately redundant
+/// with the destination check today — it keeps the reduction sound if a
+/// handler ever grows cross-processor shared state, and it is the
+/// "commutativity-guided" half the cross-check below validates at runtime.
+bool IndependentHeads(net::SimNetwork& sim, const ChannelKey& c1,
+                      const ChannelKey& c2) {
+  if (c1.second == c2.second) return false;
+  auto m1 = wire::DecodeMessage(sim.PeekChannel(c1.first, c1.second));
+  auto m2 = wire::DecodeMessage(sim.PeekChannel(c2.first, c2.second));
+  LAZYTREE_CHECK(m1.ok() && m2.ok()) << "wire corruption in verifier peek";
+  for (const Action& a : m1->actions) {
+    for (const Action& b : m2->actions) {
+      if (!ActionsCommute(a.kind, b.kind) && a.target == b.target) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// One sampled independence decision, re-executed in both orders after the
+/// main exploration to confirm the states converge.
+struct CrossCheckRequest {
+  std::vector<ChannelKey> prefix;  ///< choices leading to the frame
+  ChannelKey t1;
+  ChannelKey t2;
+};
+
+constexpr uint32_t kNoViolationRound = 0xFFFFFFFF;
+
+/// The DFS engine. One instance persists across all executions of a
+/// VerifyExhaustive call: each execution replays the decision prefix held
+/// in `stack_` (checking determinism against recorded fingerprints),
+/// extends it with fresh frames until the episode completes, and the
+/// driver then advances the deepest frame with an untried candidate.
+class ExhaustiveStrategy : public net::ScheduleStrategy {
+ public:
+  ExhaustiveStrategy(const VerifyConfig& config, VerifyStats* stats)
+      : config_(config), stats_(stats) {}
+
+  const char* name() const override { return "exhaustive"; }
+
+  EpisodeHooks hooks() {
+    EpisodeHooks h;
+    h.on_start = [this](Cluster& c, net::SimNetwork& n,
+                        const std::vector<EpisodeOp>& ops) {
+      cluster_ = &c;
+      sim_ = &n;
+      ops_ = &ops;
+      depth_ = 0;
+      cut_ = false;
+      round_ = 0;
+      picks_this_round_ = 0;
+      pending_sleep_.clear();
+    };
+    h.on_quiescent = [this](Cluster& c, uint32_t round) {
+      round_ = round + 1;
+      picks_this_round_ = 0;
+      if (round == config_.episode.rounds && sim_->mutation_applied()) {
+        ++stats_->mutation_fired;
+      }
+      if (config_.check_each_quiescence &&
+          first_violation_round_ == kNoViolationRound &&
+          !c.VerifyHistories().violations.empty()) {
+        first_violation_round_ = round;
+      }
+    };
+    return h;
+  }
+
+  size_t PickChannel(const std::vector<net::ChannelView>& views) override {
+    ++stats_->transitions;
+    size_t index;
+    if (cut_) {
+      index = 0;  // deterministic drain: lowest channel first
+    } else if (depth_ < stack_.size()) {
+      index = ReplayPrefix(views);
+    } else {
+      index = Extend(views);
+    }
+    ++picks_this_round_;
+    return index;
+  }
+
+  /// Advances to the next unexplored schedule; false when the space is
+  /// exhausted.
+  bool Backtrack() {
+    while (!stack_.empty()) {
+      Frame& f = stack_.back();
+      if (f.next + 1 < f.candidates.size()) {
+        ++f.next;
+        return true;
+      }
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+  bool cut() const { return cut_; }
+  uint32_t first_violation_round() const { return first_violation_round_; }
+  std::vector<CrossCheckRequest> TakeCrossChecks() {
+    return std::move(cross_checks_);
+  }
+
+ private:
+  struct Frame {
+    std::vector<ChannelKey> candidates;  ///< enabled \ sleep, in view order
+    std::vector<ChannelKey> sleep;       ///< transitions pruned here (POR)
+    size_t next = 0;                     ///< candidate explored this pass
+    uint64_t entry_fp = 0;               ///< state fingerprint on entry
+    bool fence = false;  ///< crash-plan event within 2 deliveries
+  };
+
+  uint64_t Here() const {
+    return StateFingerprint(*cluster_, *sim_, *ops_, round_,
+                            picks_this_round_);
+  }
+
+  /// A crash-plan event fires between deliveries once the round's step
+  /// count reaches it; swapping the next two deliveries changes which side
+  /// of the crash they land on, so independence does not hold across the
+  /// boundary and sleep filtering is disabled within two deliveries of it.
+  bool NearCrashEvent() const {
+    for (const CrashEvent& e : config_.episode.crashes) {
+      if (e.round == round_ && e.after_steps > picks_this_round_ &&
+          e.after_steps <= picks_this_round_ + 2) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static size_t IndexOf(const std::vector<net::ChannelView>& views,
+                        const ChannelKey& key) {
+    for (size_t i = 0; i < views.size(); ++i) {
+      if (views[i].from == key.first && views[i].to == key.second) return i;
+    }
+    return views.size();
+  }
+
+  /// Sleep set the successor of `f` under `chosen` inherits: every
+  /// transition already asleep or already fully explored here stays asleep
+  /// iff it is independent of `chosen` (its head message is untouched by
+  /// the delivery, so exploring it later from the child is redundant).
+  void ComputeChildSleep(const Frame& f, const ChannelKey& chosen) {
+    pending_sleep_.clear();
+    if (!config_.por || f.fence) return;
+    auto consider = [&](const ChannelKey& u) {
+      if (u == chosen) return;
+      if (std::find(pending_sleep_.begin(), pending_sleep_.end(), u) !=
+          pending_sleep_.end()) {
+        return;
+      }
+      if (IndependentHeads(*sim_, u, chosen)) pending_sleep_.push_back(u);
+    };
+    for (const ChannelKey& u : f.sleep) consider(u);
+    for (size_t i = 0; i < f.next; ++i) consider(f.candidates[i]);
+  }
+
+  size_t ReplayPrefix(const std::vector<net::ChannelView>& views) {
+    Frame& f = stack_[depth_];
+    if (Here() != f.entry_fp) ++stats_->determinism_failures;
+    const ChannelKey chosen = f.candidates[f.next];
+    size_t index = IndexOf(views, chosen);
+    if (index >= views.size()) {
+      // The recorded choice is no longer enabled: the episode is not
+      // re-executing deterministically. Count it and drain.
+      ++stats_->determinism_failures;
+      cut_ = true;
+      return 0;
+    }
+    ComputeChildSleep(f, chosen);
+    ++depth_;
+    return index;
+  }
+
+  size_t Extend(const std::vector<net::ChannelView>& views) {
+    Frame f;
+    f.entry_fp = Here();
+    f.fence = NearCrashEvent();
+    if (!f.fence) f.sleep = std::move(pending_sleep_);
+    pending_sleep_.clear();
+    if (config_.dedup && f.sleep.empty()) {
+      // Record / consult the cache only for empty-sleep frames: a state
+      // first reached with a *non-empty* sleep set is not fully explored
+      // from here, and skipping a later full visit would be unsound.
+      if (!visited_.insert(f.entry_fp).second) {
+        ++stats_->pruned_visited;
+        cut_ = true;
+        return 0;
+      }
+      ++stats_->states;
+    }
+    for (const net::ChannelView& v : views) {
+      ChannelKey key{v.from, v.to};
+      if (config_.por &&
+          std::find(f.sleep.begin(), f.sleep.end(), key) != f.sleep.end()) {
+        ++stats_->pruned_sleep;
+        continue;
+      }
+      f.candidates.push_back(key);
+    }
+    // Explore candidates in (to, from) order rather than the view's
+    // (from, to) order: delivering inbound requests before outbound
+    // fan-out lets multi-message backlogs form on coordinator->member
+    // channels early in the search. With starve_victim set, deliveries to
+    // that processor sort last at every frame, so the leftmost schedule is
+    // the extreme starvation of the victim (the §4.3 adversary family) —
+    // violations that need two messages queued on one victim-bound channel
+    // then surface in the first few executions instead of deep in the
+    // tree. Pure search-order heuristic — every candidate is still
+    // explored, so exhaustiveness and sleep-set soundness are unaffected.
+    const int victim = config_.starve_victim;
+    std::stable_sort(f.candidates.begin(), f.candidates.end(),
+                     [victim](const ChannelKey& a, const ChannelKey& b) {
+                       int sa = victim >= 0 && a.second == victim ? 1 : 0;
+                       int sb = victim >= 0 && b.second == victim ? 1 : 0;
+                       return std::tie(sa, a.second, a.first) <
+                              std::tie(sb, b.second, b.first);
+                     });
+    if (f.candidates.empty()) {
+      // Everything enabled sleeps: all schedules from this state are
+      // covered through orders explored elsewhere. Drain.
+      cut_ = true;
+      return 0;
+    }
+    MaybeSampleCrossCheck(f);
+    const ChannelKey chosen = f.candidates[0];
+    size_t index = IndexOf(views, chosen);
+    LAZYTREE_CHECK(index < views.size());
+    ComputeChildSleep(f, chosen);
+    stack_.push_back(std::move(f));
+    ++depth_;
+    stats_->max_frontier = std::max(stats_->max_frontier, stack_.size());
+    return index;
+  }
+
+  void MaybeSampleCrossCheck(const Frame& f) {
+    if (!config_.por || cross_checks_.size() >= config_.cross_check_samples) {
+      return;
+    }
+    for (size_t i = 0; i < f.candidates.size(); ++i) {
+      for (size_t j = i + 1; j < f.candidates.size(); ++j) {
+        if (!IndependentHeads(*sim_, f.candidates[i], f.candidates[j])) {
+          continue;
+        }
+        CrossCheckRequest req;
+        req.prefix.reserve(depth_);
+        for (size_t d = 0; d < depth_; ++d) {
+          req.prefix.push_back(stack_[d].candidates[stack_[d].next]);
+        }
+        req.t1 = f.candidates[i];
+        req.t2 = f.candidates[j];
+        cross_checks_.push_back(std::move(req));
+        return;
+      }
+    }
+  }
+
+  const VerifyConfig& config_;
+  VerifyStats* stats_;
+  Cluster* cluster_ = nullptr;
+  net::SimNetwork* sim_ = nullptr;
+  const std::vector<EpisodeOp>* ops_ = nullptr;
+  std::vector<Frame> stack_;
+  size_t depth_ = 0;  ///< frames consumed by the current execution
+  bool cut_ = false;  ///< current execution switched to deterministic drain
+  uint32_t round_ = 0;
+  uint64_t picks_this_round_ = 0;
+  std::vector<ChannelKey> pending_sleep_;  ///< sleep set for the next frame
+  std::unordered_set<uint64_t> visited_;
+  uint32_t first_violation_round_ = kNoViolationRound;
+  std::vector<CrossCheckRequest> cross_checks_;
+};
+
+/// Delivers a fixed channel sequence, then drains deterministically
+/// (lowest channel first). Used to re-execute both orders of a sampled
+/// independent pair.
+class ForcedStrategy : public net::ScheduleStrategy {
+ public:
+  explicit ForcedStrategy(std::vector<ChannelKey> forced)
+      : forced_(std::move(forced)) {}
+
+  const char* name() const override { return "forced"; }
+
+  size_t PickChannel(const std::vector<net::ChannelView>& views) override {
+    if (cursor_ < forced_.size()) {
+      const ChannelKey& key = forced_[cursor_];
+      for (size_t i = 0; i < views.size(); ++i) {
+        if (views[i].from == key.first && views[i].to == key.second) {
+          ++cursor_;
+          return i;
+        }
+      }
+      ++diverged_;
+      cursor_ = forced_.size();  // abandon the script, drain
+    }
+    return 0;
+  }
+
+  uint64_t diverged() const { return diverged_; }
+
+ private:
+  std::vector<ChannelKey> forced_;
+  size_t cursor_ = 0;
+  uint64_t diverged_ = 0;
+};
+
+/// Re-runs the episode delivering `forced` first, and fingerprints the
+/// final quiescent state (violation count mixed in). Two forced runs that
+/// differ only in the order of an independent pair must return equal
+/// values.
+uint64_t RunForced(const EpisodeConfig& episode, std::vector<ChannelKey> forced,
+                   bool* diverged) {
+  ForcedStrategy strategy(std::move(forced));
+  net::SimNetwork* sim = nullptr;
+  const std::vector<EpisodeOp>* ops = nullptr;
+  uint64_t final_fp = 0;
+  EpisodeHooks hooks;
+  hooks.on_start = [&](Cluster& c, net::SimNetwork& n,
+                       const std::vector<EpisodeOp>& o) {
+    (void)c;
+    sim = &n;
+    ops = &o;
+  };
+  hooks.on_quiescent = [&](Cluster& c, uint32_t round) {
+    final_fp = StateFingerprint(c, *sim, *ops, round, 0);
+  };
+  EpisodeResult result = RunEpisodeUnder(episode, &strategy, nullptr, hooks);
+  *diverged = strategy.diverged() > 0;
+  Fingerprint fp;
+  fp.Mix(final_fp);
+  fp.Mix(result.violations.size());
+  return fp.digest();
+}
+
+std::string DescribeChannel(const ChannelKey& key) {
+  return "(" + std::to_string(key.first) + "->" + std::to_string(key.second) +
+         ")";
+}
+
+}  // namespace
+
+std::string VerifyResult::Summary() const {
+  std::string s;
+  if (!ok) {
+    s = "VIOLATION: " + (violations.empty() ? "?" : violations.front());
+  } else if (exhausted) {
+    s = "exhausted, no violations";
+  } else {
+    s = "budget hit, no violations";
+  }
+  s += " | executions=" + std::to_string(stats.executions);
+  s += " schedules=" + std::to_string(stats.schedules);
+  s += " transitions=" + std::to_string(stats.transitions);
+  s += " states=" + std::to_string(stats.states);
+  s += " pruned_sleep=" + std::to_string(stats.pruned_sleep);
+  s += " pruned_visited=" + std::to_string(stats.pruned_visited);
+  s += " cross_checks=" + std::to_string(stats.cross_checks) + "/" +
+       std::to_string(stats.cross_check_failures) + " failed";
+  if (stats.mutation_fired > 0) {
+    s += " mutation_fired=" + std::to_string(stats.mutation_fired);
+  }
+  s += " max_frontier=" + std::to_string(stats.max_frontier);
+  return s;
+}
+
+VerifyResult VerifyExhaustive(const VerifyConfig& config) {
+  LAZYTREE_CHECK(config.episode.drop == 0 && config.episode.dup == 0)
+      << "exhaustive verification needs deterministic delivery outcomes";
+  VerifyResult result;
+  ExhaustiveStrategy strategy(config, &result.stats);
+  EpisodeHooks hooks = strategy.hooks();
+  while (true) {
+    TraceRecorder recorder;
+    EpisodeResult episode =
+        RunEpisodeUnder(config.episode, &strategy, &recorder, hooks);
+    ++result.stats.executions;
+    if (!strategy.cut()) ++result.stats.schedules;
+    if (!episode.ok) {
+      result.ok = false;
+      result.violations = episode.violations;
+      result.trace = episode.trace;
+      if (config.minimize) {
+        StatusOr<MinimizeResult> minimized =
+            MinimizeTrace(config.episode, episode.trace);
+        if (minimized.ok()) {
+          result.trace = std::move(minimized->trace);
+        }
+      }
+      break;
+    }
+    if (!strategy.Backtrack()) {
+      result.exhausted = true;
+      break;
+    }
+    if (result.stats.executions >= config.max_executions) break;
+  }
+  result.first_violation_round = strategy.first_violation_round();
+
+  if (result.stats.determinism_failures > 0) {
+    result.ok = false;
+    result.violations.push_back(
+        "verifier: prefix re-execution diverged " +
+        std::to_string(result.stats.determinism_failures) +
+        " times — episode state is not a deterministic function of the "
+        "delivery schedule");
+  }
+
+  // Validate sampled independence decisions by running both orders.
+  if (config.por && config.cross_check_samples > 0) {
+    for (const CrossCheckRequest& req : strategy.TakeCrossChecks()) {
+      std::vector<ChannelKey> ab = req.prefix;
+      ab.push_back(req.t1);
+      ab.push_back(req.t2);
+      std::vector<ChannelKey> ba = req.prefix;
+      ba.push_back(req.t2);
+      ba.push_back(req.t1);
+      bool diverged_ab = false;
+      bool diverged_ba = false;
+      uint64_t fp_ab = RunForced(config.episode, std::move(ab), &diverged_ab);
+      uint64_t fp_ba = RunForced(config.episode, std::move(ba), &diverged_ba);
+      if (diverged_ab || diverged_ba) continue;  // prefix no longer valid
+      ++result.stats.cross_checks;
+      if (fp_ab != fp_ba) {
+        ++result.stats.cross_check_failures;
+        result.ok = false;
+        result.violations.push_back(
+            "verifier: POR cross-check diverged for pair " +
+            DescribeChannel(req.t1) + " x " + DescribeChannel(req.t2) +
+            " at depth " + std::to_string(req.prefix.size()) +
+            " — independence relation is unsound for this protocol");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lazytree::sim

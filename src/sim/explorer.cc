@@ -11,26 +11,12 @@
 
 namespace lazytree::sim {
 
-namespace {
+Value WorkValueOf(Key k) { return k * 2654435761ull + 13; }
 
-enum class OpKind : uint8_t { kInsert, kDelete, kSearch };
-
-struct WorkOp {
-  OpKind kind;
-  Key key;
-  ProcessorId home;
-};
-
-/// Every insert of key k writes the same value, so presence checks never
-/// need to know which insert won.
-Value ValueOf(Key k) { return k * 2654435761ull + 13; }
-
-/// The workload is a pure function of the config: all rounds are generated
-/// up front, independent of operation outcomes, so record and replay (and
-/// every minimized variant) submit the identical operation sequence. Keys
-/// are distinct within a round, which makes per-key outcomes deterministic
-/// given the quiescence barrier between rounds.
-std::vector<std::vector<WorkOp>> GenerateWorkload(const EpisodeConfig& c) {
+// Keys are distinct within a round, which makes per-key outcomes
+// deterministic given the quiescence barrier between rounds.
+std::vector<std::vector<WorkOp>> GenerateEpisodeWorkload(
+    const EpisodeConfig& c) {
   Rng rng(c.seed ^ 0x3C6EF372FE94F82Aull);
   std::vector<std::vector<WorkOp>> rounds(c.rounds);
   std::vector<Key> ever_inserted;
@@ -49,20 +35,20 @@ std::vector<std::vector<WorkOp>> GenerateWorkload(const EpisodeConfig& c) {
       WorkOp op;
       op.home = static_cast<ProcessorId>(rng.Below(c.processors));
       if (dice < 55 || ever_inserted.empty()) {
-        op.kind = OpKind::kInsert;
+        op.kind = WorkKind::kInsert;
         op.key = fresh_key();
       } else if (dice < 75) {
-        op.kind = OpKind::kDelete;
+        op.kind = WorkKind::kDelete;
         Key k = ever_inserted[rng.Below(ever_inserted.size())];
         op.key = used.insert(k).second ? k : fresh_key();
-        if (op.key != k) op.kind = OpKind::kInsert;  // fall back to insert
+        if (op.key != k) op.kind = WorkKind::kInsert;  // fall back to insert
       } else {
-        op.kind = OpKind::kSearch;
+        op.kind = WorkKind::kSearch;
         Key k = ever_inserted[rng.Below(ever_inserted.size())];
         op.key = used.insert(k).second ? k : fresh_key();
       }
       if (op.key == 0) continue;  // round's key budget exhausted
-      if (op.kind == OpKind::kInsert) round_inserts.push_back(op.key);
+      if (op.kind == WorkKind::kInsert) round_inserts.push_back(op.key);
       rounds[r].push_back(op);
     }
     ever_inserted.insert(ever_inserted.end(), round_inserts.begin(),
@@ -71,11 +57,7 @@ std::vector<std::vector<WorkOp>> GenerateWorkload(const EpisodeConfig& c) {
   return rounds;
 }
 
-struct OpRecord {
-  WorkOp op;
-  bool done = false;
-  OpResult result;
-};
+namespace {
 
 std::string FoldLines(std::string s) {
   for (char& c : s) {
@@ -87,7 +69,8 @@ std::string FoldLines(std::string s) {
 EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
                              net::ScheduleStrategy* strategy,
                              ReplayStrategy* replay,
-                             TraceRecorder* recorder, bool strict) {
+                             TraceRecorder* recorder, bool strict,
+                             const EpisodeHooks* hooks) {
   ClusterOptions options;
   options.processors = config.processors;
   options.protocol = config.protocol;
@@ -97,6 +80,7 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
   options.tree.track_history = true;
   options.tree.leaf_replication = config.leaf_replication;
   options.tree.interior_replication = config.interior_replication;
+  options.tree.shed_threshold = config.shed_threshold;
   options.combine_ops = config.combine_ops ? 1 : 0;
   options.local_read_fastpath = config.local_fastpath ? 1 : 0;
   // The episode's verification battery records violations for the trace /
@@ -113,13 +97,19 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
   if (replay == nullptr && (config.drop > 0 || config.dup > 0)) {
     sim->InjectFaults(config.drop, config.dup);
   }
+  if (config.mutation != net::ScheduleMutation::kNone) {
+    sim->PlantMutation(config.mutation);
+  }
   cluster.Start();
 
-  std::vector<std::vector<WorkOp>> rounds = GenerateWorkload(config);
+  std::vector<std::vector<WorkOp>> rounds = GenerateEpisodeWorkload(config);
   size_t total_ops = 0;
   for (const auto& r : rounds) total_ops += r.size();
-  std::vector<OpRecord> ops;
+  std::vector<EpisodeOp> ops;
   ops.reserve(total_ops);
+  if (hooks != nullptr && hooks->on_start) {
+    hooks->on_start(cluster, *sim, ops);
+  }
 
   // Crash plan, applied in (round, after_steps) order while recording.
   std::vector<CrashEvent> plan = config.crashes;
@@ -192,33 +182,43 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
   for (uint32_t r = 0; r < config.rounds && !livelock; ++r) {
     for (const WorkOp& w : rounds[r]) {
       const size_t idx = ops.size();
-      ops.push_back(OpRecord{w});
+      EpisodeOp record;
+      record.op = w;
+      ops.push_back(std::move(record));
       auto cb = [&ops, idx](const OpResult& res) {
         ops[idx].result = res;
         ops[idx].done = true;
       };
       switch (w.kind) {
-        case OpKind::kInsert:
-          cluster.InsertAsync(w.home, w.key, ValueOf(w.key), cb);
+        case WorkKind::kInsert:
+          cluster.InsertAsync(w.home, w.key, WorkValueOf(w.key), cb);
           break;
-        case OpKind::kDelete:
+        case WorkKind::kDelete:
           cluster.DeleteAsync(w.home, w.key, cb);
           break;
-        case OpKind::kSearch:
+        case WorkKind::kSearch:
           cluster.SearchAsync(w.home, w.key, cb);
           break;
       }
     }
     drive(r);
+    if (hooks != nullptr && hooks->on_quiescent && !livelock) {
+      hooks->on_quiescent(cluster, r);
+    }
   }
-  if (!livelock) drive(config.rounds);  // final drain + leftover events
+  if (!livelock) {
+    drive(config.rounds);  // final drain + leftover events
+    if (hooks != nullptr && hooks->on_quiescent && !livelock) {
+      hooks->on_quiescent(cluster, config.rounds);
+    }
+  }
 
   // ---- verification battery ----
   EpisodeResult result;
   result.steps = steps_used;
   result.delivered = sim->delivered();
   result.ops_submitted = ops.size();
-  for (const OpRecord& op : ops) {
+  for (const EpisodeOp& op : ops) {
     if (op.done) ++result.ops_completed;
   }
   std::vector<std::string>& violations = result.violations;
@@ -246,10 +246,10 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
   enum class Fate : uint8_t { kAbsent, kPresent, kUnknown };
   std::map<Key, Fate> fate;
   std::set<Key> ever_submitted_insert;
-  for (const OpRecord& op : ops) {
+  for (const EpisodeOp& op : ops) {
     Fate& f = fate.try_emplace(op.op.key, Fate::kAbsent).first->second;
     switch (op.op.kind) {
-      case OpKind::kInsert:
+      case WorkKind::kInsert:
         ever_submitted_insert.insert(op.op.key);
         if (op.done && (op.result.status.ok() ||
                         op.result.status.IsAlreadyExists())) {
@@ -258,7 +258,7 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
           f = Fate::kUnknown;  // may or may not have applied
         }
         break;
-      case OpKind::kDelete:
+      case WorkKind::kDelete:
         if (op.done && (op.result.status.ok() ||
                         op.result.status.IsNotFound())) {
           f = Fate::kAbsent;
@@ -266,7 +266,7 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
           f = Fate::kUnknown;  // delete may have applied before failing
         }
         break;
-      case OpKind::kSearch:
+      case WorkKind::kSearch:
         break;  // reads do not change fate
     }
   }
@@ -279,7 +279,7 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
       if (it == present.end()) {
         violations.push_back("lost key " + std::to_string(key) +
                              ": completed insert missing from the tree");
-      } else if (it->second != ValueOf(key)) {
+      } else if (it->second != WorkValueOf(key)) {
         violations.push_back("wrong value for key " + std::to_string(key));
       }
     } else if (f == Fate::kAbsent) {
@@ -287,7 +287,7 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
         violations.push_back("resurrected key " + std::to_string(key) +
                              ": completed delete still in the tree");
       }
-    } else if (it != present.end() && it->second != ValueOf(key)) {
+    } else if (it != present.end() && it->second != WorkValueOf(key)) {
       violations.push_back("wrong value for key " + std::to_string(key));
     }
   }
@@ -302,12 +302,12 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
   // the oracle's exact return code, and the dictionaries match.
   if (strict && !livelock) {
     Oracle oracle(/*upsert=*/false);
-    for (const OpRecord& op : ops) {
+    for (const EpisodeOp& op : ops) {
       if (!op.done) {
         violations.push_back("incomplete op: " +
-                             std::string(op.op.kind == OpKind::kInsert
+                             std::string(op.op.kind == WorkKind::kInsert
                                              ? "insert"
-                                             : op.op.kind == OpKind::kDelete
+                                             : op.op.kind == WorkKind::kDelete
                                                    ? "delete"
                                                    : "search") +
                              " key " + std::to_string(op.op.key) +
@@ -317,13 +317,13 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
       StatusCode want = StatusCode::kOk;
       Value want_value = 0;
       switch (op.op.kind) {
-        case OpKind::kInsert:
-          want = oracle.Insert(op.op.key, ValueOf(op.op.key)).code();
+        case WorkKind::kInsert:
+          want = oracle.Insert(op.op.key, WorkValueOf(op.op.key)).code();
           break;
-        case OpKind::kDelete:
+        case WorkKind::kDelete:
           want = oracle.Delete(op.op.key).code();
           break;
-        case OpKind::kSearch: {
+        case WorkKind::kSearch: {
           StatusOr<Value> w = oracle.Search(op.op.key);
           want = w.status().code();
           if (w.ok()) want_value = *w;
@@ -335,7 +335,7 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
             "oracle rc mismatch for key " + std::to_string(op.op.key) +
             ": got " + StatusCodeName(op.result.status.code()) + ", want " +
             StatusCodeName(want));
-      } else if (op.op.kind == OpKind::kSearch && want == StatusCode::kOk &&
+      } else if (op.op.kind == WorkKind::kSearch && want == StatusCode::kOk &&
                  op.result.value != want_value) {
         violations.push_back("oracle value mismatch for key " +
                              std::to_string(op.op.key));
@@ -367,6 +367,43 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
   return result;
 }
 
+// Stamps the config into a recorded trace's metadata so `lazytree_explore
+// replay` can rebuild the identical episode. Shared by RunEpisode and
+// RunEpisodeUnder so verifier-recorded traces replay the same way.
+void FillTraceMeta(const EpisodeConfig& config, EpisodeResult& result) {
+  ScheduleTrace& t = result.trace;
+  t.meta["protocol"] = ProtocolKindName(config.protocol);
+  t.meta["strategy"] = StrategyKindName(config.strategy.kind);
+  t.meta["strategy_seed"] = std::to_string(config.strategy.seed);
+  t.meta["pct_depth"] = std::to_string(config.strategy.pct_depth);
+  t.meta["pct_expected_events"] =
+      std::to_string(config.strategy.pct_expected_events);
+  t.meta["starve_victim"] = std::to_string(config.strategy.starve_victim);
+  t.meta["starve_cap"] = std::to_string(config.strategy.starve_cap);
+  t.meta["seed"] = std::to_string(config.seed);
+  t.meta["processors"] = std::to_string(config.processors);
+  t.meta["rounds"] = std::to_string(config.rounds);
+  t.meta["ops_per_round"] = std::to_string(config.ops_per_round);
+  t.meta["key_space"] = std::to_string(config.key_space);
+  t.meta["fanout"] = std::to_string(config.fanout);
+  t.meta["leaf_replication"] = std::to_string(config.leaf_replication);
+  t.meta["interior_replication"] =
+      std::to_string(config.interior_replication);
+  // Written only when on: absent keys read back as 0, and default-config
+  // traces (all checked-in repros predate these knobs) keep serializing
+  // byte-for-byte.
+  if (config.combine_ops) t.meta["combine_ops"] = "1";
+  if (config.local_fastpath) t.meta["local_fastpath"] = "1";
+  if (config.shed_threshold > 0) {
+    t.meta["shed_threshold"] = std::to_string(config.shed_threshold);
+  }
+  if (config.mutation != net::ScheduleMutation::kNone) {
+    t.meta["mutation"] = net::ScheduleMutationName(config.mutation);
+  }
+  t.meta["result"] = result.ok ? "ok" : "fail";
+  if (!result.ok) t.meta["failure"] = result.Signature();
+}
+
 }  // namespace
 
 bool ParseProtocolKind(const std::string& name, ProtocolKind* out) {
@@ -394,33 +431,22 @@ EpisodeResult RunEpisode(const EpisodeConfig& config) {
       MakeStrategy(config.strategy);
   TraceRecorder recorder;
   EpisodeResult result = RunEpisodeImpl(config, strategy.get(), nullptr,
-                                        &recorder, config.clean());
+                                        &recorder, config.clean(), nullptr);
   result.trace = std::move(recorder.trace());
-  ScheduleTrace& t = result.trace;
-  t.meta["protocol"] = ProtocolKindName(config.protocol);
-  t.meta["strategy"] = StrategyKindName(config.strategy.kind);
-  t.meta["strategy_seed"] = std::to_string(config.strategy.seed);
-  t.meta["pct_depth"] = std::to_string(config.strategy.pct_depth);
-  t.meta["pct_expected_events"] =
-      std::to_string(config.strategy.pct_expected_events);
-  t.meta["starve_victim"] = std::to_string(config.strategy.starve_victim);
-  t.meta["starve_cap"] = std::to_string(config.strategy.starve_cap);
-  t.meta["seed"] = std::to_string(config.seed);
-  t.meta["processors"] = std::to_string(config.processors);
-  t.meta["rounds"] = std::to_string(config.rounds);
-  t.meta["ops_per_round"] = std::to_string(config.ops_per_round);
-  t.meta["key_space"] = std::to_string(config.key_space);
-  t.meta["fanout"] = std::to_string(config.fanout);
-  t.meta["leaf_replication"] = std::to_string(config.leaf_replication);
-  t.meta["interior_replication"] =
-      std::to_string(config.interior_replication);
-  // Written only when on: absent keys read back as 0, and default-config
-  // traces (all checked-in repros predate these knobs) keep serializing
-  // byte-for-byte.
-  if (config.combine_ops) t.meta["combine_ops"] = "1";
-  if (config.local_fastpath) t.meta["local_fastpath"] = "1";
-  t.meta["result"] = result.ok ? "ok" : "fail";
-  if (!result.ok) t.meta["failure"] = result.Signature();
+  FillTraceMeta(config, result);
+  return result;
+}
+
+EpisodeResult RunEpisodeUnder(const EpisodeConfig& config,
+                              net::ScheduleStrategy* strategy,
+                              TraceRecorder* recorder,
+                              const EpisodeHooks& hooks) {
+  EpisodeResult result = RunEpisodeImpl(config, strategy, nullptr, recorder,
+                                        config.clean(), &hooks);
+  if (recorder != nullptr) {
+    result.trace = std::move(recorder->trace());
+    FillTraceMeta(config, result);
+  }
   return result;
 }
 
@@ -433,7 +459,7 @@ EpisodeResult ReplayEpisode(const EpisodeConfig& config,
   const bool strict = config.clean() && trace.FaultCount() == 0 &&
                       trace.ControlCount() == 0;
   EpisodeResult result =
-      RunEpisodeImpl(config, &replay, &replay, nullptr, strict);
+      RunEpisodeImpl(config, &replay, &replay, nullptr, strict, nullptr);
   result.trace = trace;
   return result;
 }

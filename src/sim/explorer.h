@@ -25,12 +25,21 @@
 #ifndef LAZYTREE_SIM_EXPLORER_H_
 #define LAZYTREE_SIM_EXPLORER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/core/options.h"
+#include "src/server/op_tracker.h"
 #include "src/sim/strategy.h"
 #include "src/sim/trace.h"
+
+namespace lazytree {
+class Cluster;
+namespace net {
+class SimNetwork;
+}  // namespace net
+}  // namespace lazytree
 
 namespace lazytree::sim {
 
@@ -48,6 +57,21 @@ struct CrashEvent {
   ProcessorId processor = 0;
   bool restart = false;  ///< false = crash, true = restart
 };
+
+/// One generated client operation. Exposed (with the generator below) so
+/// the exhaustive verifier submits the byte-identical workload an episode
+/// would, keeping its recorded schedules replayable by ReplayEpisode.
+enum class WorkKind : uint8_t { kInsert, kDelete, kSearch };
+
+struct WorkOp {
+  WorkKind kind = WorkKind::kInsert;
+  Key key = 0;
+  ProcessorId home = 0;
+};
+
+/// Every insert of key k writes the same value, so presence checks never
+/// need to know which insert won.
+Value WorkValueOf(Key k);
 
 struct EpisodeConfig {
   ProtocolKind protocol = ProtocolKind::kSemiSyncSplit;
@@ -69,6 +93,14 @@ struct EpisodeConfig {
   /// (their meta simply lacks the keys, which reads as 0).
   bool combine_ops = false;
   bool local_fastpath = false;
+  /// Mobile/varcopies leaf shedding (TreeConfig::shed_threshold): >0 makes
+  /// splits migrate fresh siblings, generating the join/unjoin membership
+  /// traffic the exhaustive verifier's varcopies configs need.
+  uint32_t shed_threshold = 0;
+  /// Planted one-shot protocol mutation (verifier self-test). Applied
+  /// deterministically at the first qualifying delivery, so a recorded
+  /// trace replayed against the same config reproduces it exactly.
+  net::ScheduleMutation mutation = net::ScheduleMutation::kNone;
   /// Network fault probabilities (record mode only; replay pins outcomes).
   double drop = 0;
   double dup = 0;
@@ -77,8 +109,11 @@ struct EpisodeConfig {
   uint64_t step_budget = 2000000;
 
   /// True when every operation must complete and the oracle must match
-  /// exactly (no injected faults, no crash plan).
-  bool clean() const { return drop == 0 && dup == 0 && crashes.empty(); }
+  /// exactly (no injected faults, no crash plan, no planted mutation).
+  bool clean() const {
+    return drop == 0 && dup == 0 && crashes.empty() &&
+           mutation == net::ScheduleMutation::kNone;
+  }
 };
 
 struct EpisodeResult {
@@ -99,8 +134,41 @@ struct EpisodeResult {
   std::string Signature() const;
 };
 
+/// The workload is a pure function of the config: all rounds are generated
+/// up front, independent of operation outcomes, so record and replay (and
+/// every minimized variant) submit the identical operation sequence.
+std::vector<std::vector<WorkOp>> GenerateEpisodeWorkload(
+    const EpisodeConfig& config);
+
+/// Live view of one submitted operation (see EpisodeHooks::on_start).
+struct EpisodeOp {
+  WorkOp op;
+  bool done = false;
+  OpResult result;
+};
+
+/// Callbacks exposing a running episode to an external driver (the
+/// exhaustive verifier): the live Cluster/SimNetwork before the first
+/// delivery — plus the episode's operation records, stable in memory for
+/// the episode's lifetime — and each round's quiescent point (round ==
+/// config.rounds for the final drain).
+struct EpisodeHooks {
+  std::function<void(Cluster&, net::SimNetwork&,
+                     const std::vector<EpisodeOp>&)>
+      on_start;
+  std::function<void(Cluster&, uint32_t round)> on_quiescent;
+};
+
 /// Runs one episode under config.strategy, recording the schedule.
 EpisodeResult RunEpisode(const EpisodeConfig& config);
+
+/// Runs one episode under an externally-owned strategy, reporting progress
+/// through `hooks`. The recorder (optional) captures the schedule exactly
+/// as RunEpisode would; result.trace carries the same replayable metadata.
+EpisodeResult RunEpisodeUnder(const EpisodeConfig& config,
+                              net::ScheduleStrategy* strategy,
+                              TraceRecorder* recorder,
+                              const EpisodeHooks& hooks);
 
 /// Re-executes a recorded schedule. `config` must describe the same
 /// episode the trace came from (protocol, processors, seed, workload

@@ -45,6 +45,8 @@ struct CliOptions {
   size_t fanout = 6;
   uint32_t pct_depth = 3;
   uint32_t leaf_replication = 0;    // 0 = protocol default (1)
+  uint32_t shed_threshold = 0;      // mobile/varcopies leaf shedding
+  std::string mutation;             // planted mutation (verifier self-test)
   double drop = 0;
   double dup = 0;
   uint32_t crashes = 0;
@@ -62,6 +64,7 @@ void Usage() {
                "    [--protocol=<name>|all] [--seeds=N] [--seed=N]\n"
                "    [--processors=N] [--rounds=N] [--ops=N] [--keyspace=N]\n"
                "    [--fanout=N] [--pct-depth=N] [--leaf-replication=N]\n"
+               "    [--shed=N] [--mutation=drop-relay|swap-ordered]\n"
                "    [--drop=P] [--dup=P] [--crashes=N] [--trace-out=DIR]\n"
                "    [--replay=TRACE] [--record=TRACE] [--no-minimize]\n"
                "    [--multicore] [--verbose]\n");
@@ -90,6 +93,8 @@ bool ParseCli(int argc, char** argv, CliOptions* cli) {
     else if (ParseFlag(arg, "fanout", &v)) cli->fanout = std::strtoul(v.c_str(), nullptr, 10);
     else if (ParseFlag(arg, "pct-depth", &v)) cli->pct_depth = std::strtoul(v.c_str(), nullptr, 10);
     else if (ParseFlag(arg, "leaf-replication", &v)) cli->leaf_replication = std::strtoul(v.c_str(), nullptr, 10);
+    else if (ParseFlag(arg, "shed", &v)) cli->shed_threshold = std::strtoul(v.c_str(), nullptr, 10);
+    else if (ParseFlag(arg, "mutation", &v)) cli->mutation = v;
     else if (ParseFlag(arg, "drop", &v)) cli->drop = std::strtod(v.c_str(), nullptr);
     else if (ParseFlag(arg, "dup", &v)) cli->dup = std::strtod(v.c_str(), nullptr);
     else if (ParseFlag(arg, "crashes", &v)) cli->crashes = std::strtoul(v.c_str(), nullptr, 10);
@@ -165,6 +170,8 @@ EpisodeConfig BuildConfig(const CliOptions& cli, ProtocolKind protocol,
       cli.leaf_replication > 0 ? cli.leaf_replication : 1;
   config.combine_ops = cli.multicore;
   config.local_fastpath = cli.multicore;
+  config.shed_threshold = cli.shed_threshold;
+  config.mutation = net::ParseScheduleMutation(cli.mutation);
   config.drop = cli.drop;
   config.dup = cli.dup;
   config.strategy.kind = strategy;
@@ -277,6 +284,21 @@ int RunReplay(const CliOptions& cli) {
   EpisodeConfig config = BuildConfig(
       cli, protocols[0], StrategyKind::kUniform, cli.seed ? cli.seed : 1);
   config.crashes.clear();  // the trace carries crash/restart events
+  // Episode knobs recorded in the trace header win over CLI defaults, so
+  // verifier-recorded repros (shed/mutation configs) replay verbatim.
+  if (cli.shed_threshold == 0) {
+    auto it = loaded->meta.find("shed_threshold");
+    if (it != loaded->meta.end()) {
+      config.shed_threshold =
+          static_cast<uint32_t>(std::strtoul(it->second.c_str(), nullptr, 10));
+    }
+  }
+  if (cli.mutation.empty()) {
+    auto it = loaded->meta.find("mutation");
+    if (it != loaded->meta.end()) {
+      config.mutation = net::ParseScheduleMutation(it->second);
+    }
+  }
   EpisodeResult result = ReplayEpisode(config, *loaded);
   std::printf("replay %s: %s (%llu deliveries, %llu diverged)\n",
               cli.replay_path.c_str(), result.ok ? "PASS" : "FAIL",

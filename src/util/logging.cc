@@ -15,10 +15,10 @@ std::once_flag g_env_once;
 void InitFromEnv() {
   const char* env = std::getenv("LAZYTREE_LOG");
   if (env == nullptr) return;
-  if (std::strcmp(env, "debug") == 0) g_level = 0;
-  else if (std::strcmp(env, "info") == 0) g_level = 1;
-  else if (std::strcmp(env, "warn") == 0) g_level = 2;
-  else if (std::strcmp(env, "error") == 0) g_level = 3;
+  if (std::strcmp(env, "debug") == 0) SetLogLevel(LogLevel::kDebug);
+  else if (std::strcmp(env, "info") == 0) SetLogLevel(LogLevel::kInfo);
+  else if (std::strcmp(env, "warn") == 0) SetLogLevel(LogLevel::kWarn);
+  else if (std::strcmp(env, "error") == 0) SetLogLevel(LogLevel::kError);
 }
 
 const char* LevelName(LogLevel level) {
@@ -38,7 +38,10 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+void SetLogLevel(LogLevel level) {
+  // Level filtering is advisory; a stale read only mis-filters a line.
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 LogLevel GetLogLevel() {
   std::call_once(g_env_once, InitFromEnv);

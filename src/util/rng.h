@@ -67,6 +67,11 @@ class Rng {
   /// True with probability p.
   bool Chance(double p) { return NextDouble() < p; }
 
+  /// Raw generator state, exposed so the exhaustive verifier can fold the
+  /// PRNG position into a state fingerprint (two executions that have
+  /// consumed different amounts of randomness are different states).
+  const uint64_t (&state() const)[4] { return s_; }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,182 @@
+// QueueManager unit tests (src/server/queue_manager.h).
+//
+// The op combiner sits between every protocol handler and the network, so
+// its routing rules are load-bearing for both correctness and the perf
+// numbers: nested scopes must flush exactly once at the outermost close,
+// an empty scope must send nothing, ownership must hand off cleanly
+// between consecutive batches (including across threads, as when the
+// worker pool recycles), and the per-(from,to) FIFO contract must survive
+// combined flushes interleaved with direct sends from other threads.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/server/queue_manager.h"
+
+namespace lazytree {
+namespace {
+
+/// Records every Send in arrival order; no delivery, no threads.
+class RecordingNetwork : public net::Network {
+ public:
+  void Register(ProcessorId, net::Receiver*) override {}
+  ProcessorId size() const override { return 4; }
+  void Send(Message m) override { sent.push_back(std::move(m)); }
+  void Start() override {}
+  void Stop() override {}
+  bool WaitQuiescent(std::chrono::milliseconds) override { return true; }
+
+  std::vector<Message> sent;
+};
+
+Action SearchFor(uint64_t key) {
+  Action a;
+  a.kind = ActionKind::kSearch;
+  a.key = key;
+  return a;
+}
+
+// Nested Begin/EndCombine: only the outermost EndCombine flushes, and the
+// inner scopes' actions ride in the same per-destination message.
+TEST(QueueManager, NestedCombineScopesFlushOnceAtOutermostClose) {
+  RecordingNetwork net;
+  QueueManager qm(/*self=*/0, &net);
+
+  qm.BeginCombine();  // batch scope
+  qm.SendAction(1, SearchFor(10));
+  qm.BeginCombine();  // per-message scope
+  qm.SendAction(1, SearchFor(11));
+  qm.SendAction(2, SearchFor(12));
+  qm.EndCombine();
+  EXPECT_TRUE(net.sent.empty()) << "inner close must not flush";
+  qm.SendAction(2, SearchFor(13));
+  qm.EndCombine();
+
+  ASSERT_EQ(net.sent.size(), 2u);  // one message per destination
+  EXPECT_EQ(net.sent[0].to, 1u);   // first-touch order: dest 1 before 2
+  ASSERT_EQ(net.sent[0].actions.size(), 2u);
+  EXPECT_EQ(net.sent[0].actions[0].key, 10u);
+  EXPECT_EQ(net.sent[0].actions[1].key, 11u);
+  EXPECT_EQ(net.sent[1].to, 2u);
+  ASSERT_EQ(net.sent[1].actions.size(), 2u);
+  EXPECT_EQ(net.sent[1].actions[0].key, 12u);
+  EXPECT_EQ(net.sent[1].actions[1].key, 13u);
+  EXPECT_EQ(net.stats().Snapshot().combined_actions, 2u)
+      << "4 actions in 2 messages = 2 combined";
+}
+
+// A combine scope that buffered nothing must close silently: no empty
+// messages on the wire, no combining stats.
+TEST(QueueManager, FlushWithZeroBufferedActionsSendsNothing) {
+  RecordingNetwork net;
+  QueueManager qm(/*self=*/0, &net);
+
+  qm.BeginCombine();
+  qm.EndCombine();
+
+  EXPECT_TRUE(net.sent.empty());
+  EXPECT_EQ(net.stats().Snapshot().combined_actions, 0u);
+
+  // And the manager still works normally afterwards.
+  qm.SendAction(3, SearchFor(7));
+  ASSERT_EQ(net.sent.size(), 1u);
+  EXPECT_EQ(net.sent[0].to, 3u);
+}
+
+// Consecutive batches, each owned by a different thread (as when a worker
+// pool hands the processor to another worker): the scope owner must hand
+// off so the second batch combines for its own thread, and each batch
+// flushes its own actions exactly once.
+TEST(QueueManager, OwnerThreadHandoffAcrossConsecutiveBatches) {
+  RecordingNetwork net;
+  QueueManager qm(/*self=*/0, &net);
+
+  auto run_batch = [&](uint64_t base) {
+    qm.BeginCombine();
+    qm.SendAction(1, SearchFor(base));
+    qm.SendAction(1, SearchFor(base + 1));
+    qm.EndCombine();
+  };
+
+  std::thread first([&] { run_batch(100); });
+  first.join();
+  std::thread second([&] { run_batch(200); });
+  second.join();
+
+  ASSERT_EQ(net.sent.size(), 2u);
+  ASSERT_EQ(net.sent[0].actions.size(), 2u);
+  EXPECT_EQ(net.sent[0].actions[0].key, 100u);
+  ASSERT_EQ(net.sent[1].actions.size(), 2u);
+  EXPECT_EQ(net.sent[1].actions[0].key, 200u);
+}
+
+// After EndCombine resets the owner, the same thread's sends go direct
+// again — the combining path must not leak past the scope.
+TEST(QueueManager, SendsGoDirectOutsideScope) {
+  RecordingNetwork net;
+  QueueManager qm(/*self=*/0, &net);
+
+  qm.BeginCombine();
+  qm.SendAction(1, SearchFor(1));
+  qm.EndCombine();
+  qm.SendAction(1, SearchFor(2));
+  qm.SendAction(1, SearchFor(3));
+
+  ASSERT_EQ(net.sent.size(), 3u);
+  EXPECT_EQ(net.sent[0].actions.size(), 1u);  // the flushed scope
+  EXPECT_EQ(net.sent[1].actions.size(), 1u);  // direct
+  EXPECT_EQ(net.sent[2].actions.size(), 1u);  // direct
+}
+
+// FIFO with a client thread interleaved: while the owner combines, a
+// non-owner thread's SendAction must bypass the buffers (it can never
+// match combine_owner_) and its message lands on the wire immediately —
+// before the owner's flush. The owner's buffered actions still leave in
+// submission order within their message, so per-sender order holds for
+// both parties.
+TEST(QueueManager, CombinedFlushInterleavedWithDirectSendsKeepsFifo) {
+  RecordingNetwork net;
+  QueueManager qm(/*self=*/0, &net);
+
+  qm.BeginCombine();
+  qm.SendAction(1, SearchFor(10));  // buffered by the owner
+  std::thread client([&] {
+    qm.SendAction(1, SearchFor(99));  // direct: client is not the owner
+  });
+  client.join();
+  qm.SendAction(1, SearchFor(11));  // buffered after the direct send
+  qm.EndCombine();
+
+  ASSERT_EQ(net.sent.size(), 2u);
+  // The client's direct message hit the network first...
+  ASSERT_EQ(net.sent[0].actions.size(), 1u);
+  EXPECT_EQ(net.sent[0].actions[0].key, 99u);
+  // ...and the owner's combined message preserves its submission order.
+  ASSERT_EQ(net.sent[1].actions.size(), 2u);
+  EXPECT_EQ(net.sent[1].actions[0].key, 10u);
+  EXPECT_EQ(net.sent[1].actions[1].key, 11u);
+}
+
+// Broadcast inside a scope buffers per destination and skips self.
+TEST(QueueManager, BroadcastInsideScopeBuffersPerDestinationSkippingSelf) {
+  RecordingNetwork net;
+  QueueManager qm(/*self=*/0, &net);
+
+  qm.BeginCombine();
+  qm.Broadcast({0, 1, 2}, SearchFor(5));
+  qm.Broadcast({1, 2}, SearchFor(6));
+  qm.EndCombine();
+
+  ASSERT_EQ(net.sent.size(), 2u);
+  for (const Message& m : net.sent) {
+    EXPECT_NE(m.to, 0u) << "self must be skipped";
+    ASSERT_EQ(m.actions.size(), 2u);
+    EXPECT_EQ(m.actions[0].key, 5u);
+    EXPECT_EQ(m.actions[1].key, 6u);
+  }
+}
+
+}  // namespace
+}  // namespace lazytree

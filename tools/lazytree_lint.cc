@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <regex>
 #include <set>
@@ -395,6 +396,217 @@ void CheckCommutativityTable(Report& report) {
 }
 
 // ---------------------------------------------------------------------------
+// Check 5: atomics discipline.
+//
+// Every access to a declared std::atomic in src/ must spell its
+// std::memory_order explicitly — bare load()/store()/fetch_add()/
+// compare_exchange() (which silently default to seq_cst), ++/--, and
+// plain assignment are all flagged. On top of that, any ordering
+// stronger than relaxed must be justified: the (file, symbol) pair has
+// to appear in kAtomicOrderAllowlist with a rationale naming the
+// acquire/release pairing it implements. Relaxed accesses are free —
+// they claim nothing. Fences (std::atomic_signal_fence /
+// atomic_thread_fence) are out of scope, as are accesses through
+// references or aliases of an atomic (the scan keys on declared names).
+// ---------------------------------------------------------------------------
+
+struct AtomicOrderJustification {
+  const char* file;    ///< file the access appears in, relative to root
+  const char* symbol;  ///< the atomic member/global accessed
+  const char* rationale;
+};
+
+/// Every non-relaxed atomic access in src/ must map to one of these.
+/// Add entries only with the pairing written out — "it felt safer" is
+/// exactly the drift this pass exists to stop.
+const AtomicOrderJustification kAtomicOrderAllowlist[] = {
+    {"src/util/mpsc_queue.h", "size_hint_",
+     "producer's release fetch_add pairs with the worker's acquire poll: "
+     "a nonzero hint must imply the pushed node is already visible"},
+    {"src/util/mpsc_queue.h", "closed_hint_",
+     "release store in Close pairs with the worker's acquire poll so the "
+     "final drain sees every pre-close push"},
+    {"src/server/queue_manager.h", "combine_owner_",
+     "release store on Begin/EndCombine pairs with the acquire load in "
+     "the owner check: buffered batch state must be visible to whichever "
+     "thread observes itself as owner"},
+    {"src/net/piggyback.h", "buffered_total_",
+     "acquire load in the quiescence probe pairs with the acq_rel RMWs "
+     "so a zero count implies the channel buffers were really emptied"},
+    {"src/net/piggyback.cc", "buffered_total_",
+     "acq_rel RMWs under the channel mutex keep the count ordered with "
+     "the buffer mutations it summarizes for the lock-free probe"},
+    {"src/net/thread_network.cc", "started_",
+     "acq_rel CAS makes Start's thread spawning happen-before any "
+     "acquire observer; Register's acquire load pairs with it"},
+    {"src/net/thread_network.cc", "stopped_",
+     "acq_rel CAS ensures exactly one caller runs Stop's teardown and "
+     "later observers see the joined state"},
+    {"src/net/thread_network.cc", "inflight_",
+     "acq_rel decrement pairs with the acquire read in the quiescence "
+     "wait: a zero in-flight count implies all deliveries completed"},
+    {"src/blink/blink_tree.cc", "root_",
+     "release store of a new root pairs with acquire loads in descents "
+     "so a reader never sees the root before its initialized contents"},
+    {"src/workload/distributions.h", "head_",
+     "acq_rel reservation pairs with the sampler's acquire read: a "
+     "visible head implies the slots below it were published"},
+    {"src/workload/distributions.h", "ring_",
+     "release publish of a slot pairs with the sampler's acquire load so "
+     "a sampled key is never torn or ahead of its publication"},
+};
+
+/// Balanced-paren argument text for the call whose '(' is at `open`;
+/// empty-and-unterminated returns what was scanned.
+std::string ParenArgs(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') {
+      if (--depth == 0) return text.substr(open + 1, i - open - 1);
+    }
+  }
+  return text.substr(open + 1);
+}
+
+/// Names of std::atomic<...> variables declared in `code` (member or
+/// global). Works from the declaration text between "std::atomic<" and
+/// the terminating ';', truncated at the brace initializer: the last
+/// identifier standing is the variable name, which holds for plain
+/// members, brace-initialized members, and atomics nested in
+/// std::vector / std::array declarations.
+void CollectAtomicNames(const std::string& code,
+                        std::set<std::string>* names) {
+  static const std::regex ident(R"([A-Za-z_]\w*)");
+  size_t pos = 0;
+  while ((pos = code.find("std::atomic", pos)) != std::string::npos) {
+    const size_t after = pos + 11;  // strlen("std::atomic")
+    if (after >= code.size() || code[after] != '<') {
+      pos = after;  // atomic_signal_fence / atomic_flag / prose
+      continue;
+    }
+    const size_t semi = code.find(';', pos);
+    if (semi == std::string::npos) break;
+    std::string decl = code.substr(pos, semi - pos);
+    int angle = 0;
+    for (size_t i = 0; i < decl.size(); ++i) {
+      if (decl[i] == '<') ++angle;
+      if (decl[i] == '>' && angle > 0) --angle;
+      if (decl[i] == '{' && angle == 0) {
+        decl.resize(i);
+        break;
+      }
+    }
+    std::string last;
+    for (auto it = std::sregex_iterator(decl.begin(), decl.end(), ident);
+         it != std::sregex_iterator(); ++it) {
+      last = it->str();
+    }
+    // Reject declarator-less matches (e.g. a cast or template argument):
+    // a real declaration's last identifier is never the template keyword.
+    if (!last.empty() && last != "atomic") names->insert(last);
+    pos = semi;
+  }
+}
+
+void CheckAtomicsDiscipline(const fs::path& root, Report& report) {
+  struct SourceFile {
+    std::string rel;
+    std::string stem;  ///< path without extension: groups X.h with X.cc
+    std::string code;
+  };
+  std::vector<SourceFile> sources;
+  std::set<std::string> atomics;
+  std::map<std::string, std::set<std::string>> atomics_by_stem;
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    const std::string rel =
+        fs::relative(entry.path(), root).generic_string();
+    auto text = ReadFile(entry.path());
+    if (!text) continue;
+    sources.push_back({rel, rel.substr(0, rel.rfind('.')),
+                       StripLineComments(*text)});
+    CollectAtomicNames(sources.back().code,
+                       &atomics_by_stem[sources.back().stem]);
+    atomics.insert(atomics_by_stem[sources.back().stem].begin(),
+                   atomics_by_stem[sources.back().stem].end());
+  }
+
+  auto justified = [&](const std::string& rel, const std::string& symbol) {
+    for (const AtomicOrderJustification& j : kAtomicOrderAllowlist) {
+      if (rel == j.file && symbol == j.symbol) return true;
+    }
+    return false;
+  };
+
+  static const std::regex access(
+      R"(([A-Za-z_]\w*)\s*(\[[^\][]*\])?\s*\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\()");
+  static const std::regex order_use(R"(memory_order_(\w+))");
+  for (const SourceFile& src : sources) {
+    for (auto it = std::sregex_iterator(src.code.begin(), src.code.end(),
+                                        access);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1];
+      const std::string method = (*it)[3];
+      if (!atomics.contains(name)) continue;  // e.g. NodeStore::store()
+      const std::string args = ParenArgs(
+          src.code, static_cast<size_t>(it->position(0)) + it->length(0) - 1);
+      if (args.find("memory_order") == std::string::npos) {
+        report.Add(src.rel, "atomics-discipline",
+                   name + "." + method + "(...) without an explicit "
+                   "std::memory_order (bare accesses default to seq_cst "
+                   "silently; spell the intended ordering)");
+        continue;
+      }
+      for (auto ord = std::sregex_iterator(args.begin(), args.end(),
+                                           order_use);
+           ord != std::sregex_iterator(); ++ord) {
+        const std::string strength = (*ord)[1];
+        if (strength == "relaxed") continue;
+        if (!justified(src.rel, name)) {
+          report.Add(src.rel, "atomics-discipline",
+                     name + "." + method + " uses memory_order_" + strength +
+                         " without a kAtomicOrderAllowlist entry; add "
+                         "(file, symbol, rationale) to lazytree_lint.cc "
+                         "naming the acquire/release pairing, or relax it");
+        }
+        break;  // one finding per access site
+      }
+    }
+    // Operator forms re-introduce implicit seq_cst through the back door:
+    // ++x / x++ / --x / x-- and plain or compound assignment to an atomic.
+    // Scoped to names declared in this file's own header/impl pair: the
+    // global set would false-positive on unrelated members that happen to
+    // share a name (e.g. a plain size_ elsewhere vs. the atomic one).
+    for (const std::string& name : atomics_by_stem[src.stem]) {
+      const std::regex op_form("(\\+\\+|--)\\s*" + name + "\\b|\\b" + name +
+                               "\\s*(\\+\\+|--|[-+&|^]?=[^=])");
+      for (auto it = std::sregex_iterator(src.code.begin(), src.code.end(),
+                                          op_form);
+           it != std::sregex_iterator(); ++it) {
+        // Exclude comparisons (== != <= >=) misparsed as assignment.
+        const size_t at = static_cast<size_t>(it->position(0));
+        if (at > 0 && std::string("=!<>").find(src.code[at - 1]) !=
+                          std::string::npos) {
+          continue;
+        }
+        const std::string snippet = it->str();
+        if (snippet.find('=') != std::string::npos &&
+            snippet.find("==") != std::string::npos) {
+          continue;
+        }
+        report.Add(src.rel, "atomics-discipline",
+                   "operator access '" + snippet + "' on std::atomic " +
+                       name + " is an implicit seq_cst op; use an explicit "
+                       "load/store/fetch with a spelled memory_order");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------
 
@@ -419,6 +631,7 @@ int LintTree(const fs::path& root) {
                         report);
   CheckConcurrencyConfinement(root, report);
   CheckCommutativityTable(report);
+  CheckAtomicsDiscipline(root, report);
 
   const size_t n = report.Print();
   if (n > 0) {
@@ -504,6 +717,33 @@ int SelfTest(const fs::path& root) {
   }
 
   {
+    // util/bad_atomics.h in the fixture tree plants one of each
+    // atomics-discipline violation; all must fire, the relaxed access
+    // must not, and nothing else in the fixture tree has atomics.
+    Report r;
+    CheckAtomicsDiscipline(fixtures / "tree", r);
+    size_t bare = 0, unjustified = 0, operators = 0, clean_hits = 0;
+    for (const Finding& f : r.findings()) {
+      if (f.file.find("bad_atomics.h") == std::string::npos) continue;
+      if (f.message.find("clean_") != std::string::npos) ++clean_hits;
+      if (f.message.find("without an explicit") != std::string::npos) ++bare;
+      if (f.message.find("kAtomicOrderAllowlist") != std::string::npos) {
+        ++unjustified;
+      }
+      if (f.message.find("operator access") != std::string::npos) {
+        ++operators;
+      }
+    }
+    expect("atomics-discipline catches bare load/store/fetch", bare == 3);
+    expect("atomics-discipline catches unjustified acquire",
+           unjustified == 1);
+    expect("atomics-discipline catches ++/assignment forms",
+           operators == 2);
+    expect("atomics-discipline ignores explicit relaxed accesses",
+           clean_hits == 0);
+  }
+
+  {
     // The real tree must be clean (the tier-1 lint test asserts the same;
     // doing it here keeps the self-test meaningful standalone).
     Report r;
@@ -516,6 +756,7 @@ int SelfTest(const fs::path& root) {
     CheckDispatchTotality(*action_h, *real_action_cc, *base_cc,
                           *processor_cc, r);
     CheckCommutativityTable(r);
+    CheckAtomicsDiscipline(root, r);
     expect("checkers stay quiet on the real tree", r.findings().empty());
     if (!r.findings().empty()) r.Print();
   }

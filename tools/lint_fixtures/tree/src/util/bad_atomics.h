@@ -1,0 +1,37 @@
+// Lint self-test fixture: every line marked below must be flagged by the
+// atomics-discipline pass. Not compiled into anything.
+
+#ifndef LAZYTREE_LINT_FIXTURE_BAD_ATOMICS_H_
+#define LAZYTREE_LINT_FIXTURE_BAD_ATOMICS_H_
+
+#include <atomic>
+
+namespace fixture {
+
+class BadAtomics {
+ public:
+  void Touch(bool flag) {
+    hits_.fetch_add(1);         // bare RMW: implicit seq_cst
+    ready_.store(flag);         // bare store
+    if (ready_.load()) {        // bare load
+      ++hits_;                  // operator increment on an atomic
+    }
+    total_ = 0;                 // plain assignment on an atomic
+    // Non-relaxed order with no allowlist justification:
+    last_ = seen_.load(std::memory_order_acquire);
+    // Properly relaxed: must NOT be flagged.
+    clean_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<unsigned long> hits_{0};
+  std::atomic<bool> ready_{false};
+  std::atomic<unsigned long> total_{0};
+  std::atomic<int> seen_{0};
+  std::atomic<unsigned long> clean_{0};
+  int last_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // LAZYTREE_LINT_FIXTURE_BAD_ATOMICS_H_

@@ -30,6 +30,20 @@ if [ ! -f "$BUILD/compile_commands.json" ]; then
 fi
 
 cd "$SRC"
+
+# A baseline entry for a file that no longer exists is a silent hole in
+# the ratchet: its findings can never recur, but a typo'd or bit-rotted
+# path would also mask a rename that SHOULD have carried its entries
+# over. Fail loudly instead of ratcheting against fiction.
+STALE=$(grep -v '^#' "$BASELINE" | sed -nE 's|^([^:]+): .*|\1|p' | sort -u |
+        while IFS= read -r f; do [ -e "$f" ] || echo "$f"; done)
+if [ -n "$STALE" ]; then
+  echo "run_clang_tidy.sh: baseline references files that do not exist:" >&2
+  echo "$STALE" | sed 's/^/  /' >&2
+  echo "fix the paths or regenerate with --update" >&2
+  exit 2
+fi
+
 FILES=$(find src tools -name '*.cc' ! -path 'tools/lint_fixtures/*' | sort)
 
 # clang-tidy exits nonzero when it emits warnings; the ratchet below is the
