@@ -192,16 +192,28 @@ struct ProtocolResult {
   uint32_t processors;
   double ops_per_sec = 0;
   double remote_msgs_per_op = 0;
+  /// Link loss injected for this row (0 = pristine network, no reliable
+  /// layer) and the reliability counters it produced (net/reliable.h).
+  double drop = 0;
+  uint64_t retransmits = 0;
+  uint64_t duplicates_dropped = 0;
+  uint64_t acks_piggybacked = 0;
+  uint64_t link_down = 0;
 };
 
 ProtocolResult RunProtocolBench(ProtocolKind protocol, uint32_t processors,
-                                size_t ops_per_client) {
+                                size_t ops_per_client, double drop = 0) {
   ClusterOptions o;
   o.processors = processors;
   o.protocol = protocol;
   o.transport = TransportKind::kThreads;
   o.tree.max_entries = 24;
   o.tree.track_history = false;
+  if (drop > 0) {
+    o.faults.drop = drop;
+    o.faults.seed = 29;
+    o.reliability.max_retransmits = 20;
+  }
   Cluster cluster(o);
   cluster.Start();
   bench::RunResult run = bench::RunThreadWorkload(
@@ -212,6 +224,11 @@ ProtocolResult RunProtocolBench(ProtocolKind protocol, uint32_t processors,
   r.processors = processors;
   r.ops_per_sec = run.OpsPerSec();
   r.remote_msgs_per_op = run.RemoteMsgsPerOp();
+  r.drop = drop;
+  r.retransmits = run.net.retransmits;
+  r.duplicates_dropped = run.net.duplicates_dropped;
+  r.acks_piggybacked = run.net.acks_piggybacked;
+  r.link_down = run.net.link_down;
   return r;
 }
 
@@ -268,11 +285,20 @@ void WriteJson(const std::string& path, const std::vector<MixResult>& mixes,
   out << "  \"protocols\": [\n";
   for (size_t i = 0; i < protocols.size(); ++i) {
     const ProtocolResult& p = protocols[i];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"protocol\": \"%s\", \"processors\": %u, "
-                  "\"ops_per_sec\": %.0f, \"remote_msgs_per_op\": %.2f}%s\n",
-                  ProtocolKindName(p.protocol), p.processors, p.ops_per_sec,
-                  p.remote_msgs_per_op, i + 1 < protocols.size() ? "," : "");
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"protocol\": \"%s\", \"processors\": %u, "
+        "\"ops_per_sec\": %.0f, \"remote_msgs_per_op\": %.2f, "
+        "\"drop_pct\": %.1f, \"retransmits\": %llu, "
+        "\"duplicates_dropped\": %llu, \"acks_piggybacked\": %llu, "
+        "\"link_down\": %llu}%s\n",
+        ProtocolKindName(p.protocol), p.processors, p.ops_per_sec,
+        p.remote_msgs_per_op, p.drop * 100,
+        static_cast<unsigned long long>(p.retransmits),
+        static_cast<unsigned long long>(p.duplicates_dropped),
+        static_cast<unsigned long long>(p.acks_piggybacked),
+        static_cast<unsigned long long>(p.link_down),
+        i + 1 < protocols.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";
@@ -373,6 +399,23 @@ int Run(int argc, char** argv) {
                   bench::Fmt("%.0f", p.ops_per_sec),
                   bench::Fmt("%.2f", p.remote_msgs_per_op)});
     }
+  }
+
+  // One lossy row prices the reliable layer under real loss on the
+  // thread transport; bench_faults has the full sweep.
+  protocols.push_back(RunProtocolBench(ProtocolKind::kSemiSyncSplit, 4,
+                                       /*ops_per_client=*/1000,
+                                       /*drop=*/0.01));
+  {
+    const ProtocolResult& p = protocols.back();
+    std::printf(
+        "\nsemisync @ 1%% drop (4 procs, reliable layer): %.0f ops/sec, "
+        "%llu retransmits, %llu deduped, %llu piggybacked acks, %llu "
+        "links down\n",
+        p.ops_per_sec, static_cast<unsigned long long>(p.retransmits),
+        static_cast<unsigned long long>(p.duplicates_dropped),
+        static_cast<unsigned long long>(p.acks_piggybacked),
+        static_cast<unsigned long long>(p.link_down));
   }
 
   if (!json_path.empty()) {

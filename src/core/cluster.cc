@@ -79,9 +79,24 @@ Cluster::Cluster(ClusterOptions options)
     base_network_ = std::make_unique<net::ThreadNetwork>(topt);
   }
   network_ = base_network_.get();
+  if (options_.faults.active()) {
+    faulty_ = std::make_unique<net::FaultyNetwork>(network_, options_.faults);
+    network_ = faulty_.get();
+  }
+  const bool reliable_on = options_.reliable < 0
+                               ? options_.faults.active()
+                               : options_.reliable > 0;
+  if (reliable_on) {
+    net::ReliabilityOptions ropt = options_.reliability;
+    ropt.real_timers = threads;
+    reliable_ = std::make_unique<net::ReliableNetwork>(network_, ropt);
+    reliable_->SetLinkDownCallback(
+        [this](ProcessorId from, ProcessorId to) { OnLinkDown(from, to); });
+    network_ = reliable_.get();
+  }
   if (options_.piggyback_window > 0) {
     piggyback_ = std::make_unique<net::PiggybackNetwork>(
-        base_network_.get(), options_.piggyback_window);
+        network_, options_.piggyback_window);
     network_ = piggyback_.get();
   }
   processors_.reserve(options_.processors);
@@ -295,9 +310,32 @@ bool Cluster::Settle(std::chrono::milliseconds timeout) {
   return true;
 }
 
+bool Cluster::PumpNetworkTimers() {
+  if (faulty_ != nullptr && faulty_->FlushHeld() > 0) return true;
+  return reliable_ != nullptr && reliable_->Pump();
+}
+
+void Cluster::OnLinkDown(ProcessorId from, ProcessorId to) {
+  LAZYTREE_WARN << "link p" << from << "->p" << to
+                << " declared down (retransmit budget exhausted); "
+                << "failing pending ops";
+  // Lost messages may strand an op homed on *any* processor (relays and
+  // returns route through third parties), so degrade the whole cluster's
+  // outstanding ops to a retriable failure instead of guessing.
+  for (auto& p : processors_) {
+    p->ops().FailAllPending(
+        Status::Unavailable("network link down (messages lost)"));
+  }
+}
+
 void Cluster::MaybeCheckHistories() {
   if (!options_.check_histories || !options_.tree.track_history ||
       !started_) {
+    return;
+  }
+  if (reliable_ != nullptr && reliable_->AnyLinkDown()) {
+    // A dead link means updates were genuinely lost in transit; §3.1
+    // completeness cannot hold and the violation is expected, not a bug.
     return;
   }
   if (sim_ != nullptr) {

@@ -14,7 +14,9 @@
 
 #include "src/core/options.h"
 #include "src/history/checker.h"
+#include "src/net/faults.h"
 #include "src/net/piggyback.h"
+#include "src/net/reliable.h"
 #include "src/net/sim_network.h"
 #include "src/net/thread_network.h"
 
@@ -42,6 +44,10 @@ class Cluster {
   net::Network& network() { return *network_; }
   /// Non-null when the transport is the deterministic simulator.
   net::SimNetwork* sim() { return sim_; }
+  /// Non-null when a fault plan is installed (net/faults.h).
+  net::FaultyNetwork* faulty() { return faulty_.get(); }
+  /// Non-null when the reliable-delivery layer is on (net/reliable.h).
+  net::ReliableNetwork* reliable() { return reliable_.get(); }
   history::HistoryLog& history_log() { return history_; }
 
   // --- synchronous client operations (home = submitting processor) ---
@@ -69,6 +75,13 @@ class Cluster {
   /// execution loop). Returns false on timeout/livelock.
   bool Settle(std::chrono::milliseconds timeout =
                   std::chrono::milliseconds(30000));
+
+  /// Sim transport only: releases fault-held messages and fires the
+  /// reliable layer's earliest due virtual timer. Returns true if new
+  /// network work appeared — the explorer's drive loop calls this when
+  /// SimNetwork::Step runs dry, which is exactly how retransmissions and
+  /// delayed acks become schedulable, replayable events.
+  bool PumpNetworkTimers();
 
   // --- crash/restart injection (sim transport only) ---
 
@@ -112,9 +125,20 @@ class Cluster {
   /// options_.check_histories is set, dying on the first violation.
   void MaybeCheckHistories();
 
+  /// Reliable-layer callback: a channel exhausted its retransmit budget.
+  /// Messages were genuinely lost, so any outstanding op anywhere in the
+  /// cluster may be waiting on one of them — fail them all with a
+  /// retriable kUnavailable status rather than hanging.
+  void OnLinkDown(ProcessorId from, ProcessorId to);
+
   ClusterOptions options_;
   history::HistoryLog history_;
+  /// Decorator stack, innermost first (declaration order matters: outer
+  /// layers are destroyed before the layers they wrap):
+  ///   base -> faulty -> reliable -> piggyback.
   std::unique_ptr<net::Network> base_network_;
+  std::unique_ptr<net::FaultyNetwork> faulty_;
+  std::unique_ptr<net::ReliableNetwork> reliable_;
   std::unique_ptr<net::PiggybackNetwork> piggyback_;
   net::Network* network_ = nullptr;  // outermost
   net::SimNetwork* sim_ = nullptr;

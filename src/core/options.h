@@ -6,6 +6,8 @@
 #include <cstdint>
 
 #include "src/history/checker.h"
+#include "src/net/faults.h"
+#include "src/net/reliable.h"
 #include "src/server/processor.h"
 
 namespace lazytree {
@@ -75,6 +77,20 @@ struct ClusterOptions {
   /// Policy for those checks and for VerifyHistories(): duplicate-
   /// application tolerance and the per-check violation report cap.
   history::CheckOptions history_check;
+  /// Link-fault injection (net/faults.h): when the plan is active, a
+  /// FaultyNetwork decorator drops/duplicates/reorders/delays remote
+  /// messages under the plan's own seed, on either transport.
+  net::FaultPlan faults;
+  /// Reliable-delivery layer (net/reliable.h): -1 auto-resolves to ON
+  /// when the fault plan is active and OFF otherwise; 0/1 force it. With
+  /// it on, exactly-once FIFO delivery — and therefore §3.1 — holds even
+  /// over lossy links; channels that exhaust their retransmit budget are
+  /// declared down and their processors' pending ops fail with a
+  /// retriable kUnavailable status instead of hanging Settle().
+  int8_t reliable = -1;
+  /// Tuning for the reliable layer (timers, budgets, initial sequence
+  /// number). `real_timers` is overridden from the transport kind.
+  net::ReliabilityOptions reliability;
   /// Node capacity, history tracking, replication factor, upserts.
   TreeConfig tree;
 };

@@ -6,7 +6,11 @@ namespace lazytree {
 
 std::string Message::ToString() const {
   std::ostringstream os;
-  os << "p" << from << "->p" << to << "#" << seq << "{";
+  os << "p" << from << "->p" << to << "#" << seq;
+  if (flags & kHasAck) os << "~a" << ack;
+  if (flags & kAckOnly) os << "!ack";
+  if (flags & kRetransmit) os << "!rtx";
+  os << "{";
   for (size_t i = 0; i < actions.size(); ++i) {
     if (i) os << ", ";
     os << actions[i].ToString();

@@ -147,6 +147,8 @@ void EncodeMessageTo(Sink& w, const Message& m) {
   w.PutVarint(m.from == kInvalidProcessor ? 0 : m.from + 1);
   w.PutVarint(m.to == kInvalidProcessor ? 0 : m.to + 1);
   w.PutVarint(m.seq);
+  w.PutVarint(m.ack);
+  w.PutFixed8(m.flags);
   w.PutVarint(m.actions.size());
   for (const Action& a : m.actions) EncodeActionTo(w, a);
 }
@@ -295,6 +297,8 @@ StatusOr<Message> DecodeMessage(const std::vector<uint8_t>& bytes) {
   LT_GET(tmp, r.GetVarint());
   m.to = tmp == 0 ? kInvalidProcessor : static_cast<ProcessorId>(tmp - 1);
   LT_GET(m.seq, r.GetVarint());
+  LT_GET(m.ack, r.GetVarint());
+  LT_GET(m.flags, r.GetFixed8());
   uint64_t n;
   LT_GET(n, r.GetVarint());
   m.actions.reserve(n);

@@ -42,7 +42,7 @@ void PiggybackNetwork::Send(Message m) {
   {
     std::lock_guard<std::mutex> lock(ch.mu);
     if (Deferrable(m)) {
-      stats_.OnPiggyback(m.actions.size());
+      base_->stats().OnPiggyback(m.actions.size());
       const size_t added = m.actions.size();
       for (Action& a : m.actions) ch.actions.push_back(std::move(a));
       if (ch.actions.size() >= max_buffered_) {

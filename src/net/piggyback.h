@@ -40,6 +40,7 @@ class PiggybackNetwork : public Network {
   void Start() override;
   void Stop() override;
   bool WaitQuiescent(std::chrono::milliseconds timeout) override;
+  NetworkStats& stats() override { return base_->stats(); }
 
   /// Sends every buffered channel immediately (one batch message each).
   void FlushAll();

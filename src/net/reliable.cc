@@ -1,0 +1,395 @@
+#include "src/net/reliable.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/rng.h"
+
+namespace lazytree::net {
+
+ReliableNetwork::ReliableNetwork(Network* base, ReliabilityOptions options)
+    : base_(base),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+ReliableNetwork::~ReliableNetwork() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+}
+
+void ReliableNetwork::Register(ProcessorId id, Receiver* receiver) {
+  if (endpoints_.size() <= static_cast<size_t>(id)) {
+    endpoints_.resize(static_cast<size_t>(id) + 1);
+  }
+  endpoints_[id] = std::make_unique<Endpoint>(this, id, receiver);
+  base_->Register(id, endpoints_[id].get());
+}
+
+ProcessorId ReliableNetwork::size() const { return base_->size(); }
+
+void ReliableNetwork::EnsureChannels() {
+  std::call_once(channels_once_, [this] {
+    num_processors_ = base_->size();
+    tx_.resize(num_processors_ * num_processors_);
+    rx_.resize(num_processors_ * num_processors_);
+    for (TxChannel& tx : tx_) tx.next_seq = options_.initial_seq;
+    for (RxChannel& rxc : rx_) rxc.expected = options_.initial_seq;
+  });
+}
+
+void ReliableNetwork::Start() {
+  base_->Start();
+  EnsureChannels();
+  epoch_ = std::chrono::steady_clock::now();
+  if (options_.real_timers && !timer_thread_.joinable()) {
+    timer_thread_ = std::thread([this] { TimerLoop(); });
+  }
+}
+
+void ReliableNetwork::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  base_->Stop();
+}
+
+uint64_t ReliableNetwork::NowUs() const {
+  if (!options_.real_timers) return virtual_now_us_;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint64_t ReliableNetwork::BackoffUs(ProcessorId from, ProcessorId to,
+                                    uint32_t retries) const {
+  const uint64_t base = options_.rto_us
+                        << std::min<uint32_t>(retries, 16);
+  // Deterministic jitter: a pure hash of (seed, link, attempt), so replays
+  // and the exhaustive verifier see identical timer schedules.
+  uint64_t state = options_.seed;
+  state ^= 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(from) + 1);
+  state ^= 0xC2B2AE3D27D4EB4Full * (static_cast<uint64_t>(to) + 1);
+  state ^= 0x165667B19E3779F9ull * (retries + 1);
+  const uint64_t jitter =
+      options_.jitter_us == 0 ? 0 : SplitMix64(state) % (options_.jitter_us + 1);
+  return base + jitter;
+}
+
+void ReliableNetwork::AttachAckLocked(Message* m) {
+  RxChannel& rxc = rx_[Index(m->to, m->from)];
+  m->ack = rxc.expected - 1;  // cumulative: everything below expected
+  m->flags |= Message::kHasAck;
+  if (rxc.ack_pending) {
+    rxc.ack_pending = false;
+    rxc.ack_deadline = kNoDeadline;
+    stats().OnAckPiggybacked();
+  }
+}
+
+void ReliableNetwork::Send(Message m) {
+  // Self-sends and unaddressed frames model in-process work; the reliable
+  // machinery covers remote links only.
+  if (m.from == m.to || m.from == kInvalidProcessor ||
+      m.to == kInvalidProcessor) {
+    base_->Send(std::move(m));
+    return;
+  }
+  EnsureChannels();
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TxChannel& tx = tx_[Index(m.from, m.to)];
+    if (tx.dead) return;  // link declared down; ops already failed
+    m.seq = tx.next_seq++;
+    m.flags = 0;
+    AttachAckLocked(&m);
+    tx.unacked.push_back(m);  // window copy for retransmission
+    if (tx.unacked.size() == 1) {
+      tx.rto_deadline = NowUs() + BackoffUs(m.from, m.to, 0);
+      wake = true;
+    }
+  }
+  base_->Send(std::move(m));
+  if (wake && options_.real_timers) timer_cv_.notify_all();
+}
+
+void ReliableNetwork::Endpoint::Deliver(Message m) {
+  std::vector<Message> batch;
+  batch.push_back(std::move(m));
+  DeliverBatch(batch);
+}
+
+void ReliableNetwork::Endpoint::DeliverBatch(std::vector<Message>& batch) {
+  std::vector<Message> out;
+  net_->ProcessBatch(id_, batch, &out);
+  if (!out.empty()) real_->DeliverBatch(out);
+}
+
+void ReliableNetwork::ProcessBatch(ProcessorId id, std::vector<Message>& in,
+                                   std::vector<Message>* out) {
+  EnsureChannels();
+  bool wake = false;
+  bool settled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = NowUs();
+    for (Message& m : in) {
+      if (m.from == m.to || m.from == kInvalidProcessor) {
+        out->push_back(std::move(m));
+        continue;
+      }
+      if (m.flags & Message::kHasAck) {
+        // The peer acks our `id -> m.from` channel cumulatively.
+        TxChannel& tx = tx_[Index(id, m.from)];
+        bool progress = false;
+        while (!tx.unacked.empty() &&
+               static_cast<int64_t>(tx.unacked.front().seq - m.ack) <= 0) {
+          tx.unacked.pop_front();
+          progress = true;
+        }
+        if (progress) {
+          tx.retries = 0;
+          if (tx.unacked.empty()) {
+            tx.rto_deadline = kNoDeadline;
+            settled = true;
+          } else {
+            tx.rto_deadline = now + BackoffUs(id, m.from, 0);
+            wake = true;
+          }
+        }
+      }
+      if (m.flags & Message::kAckOnly) continue;  // never delivered upward
+
+      RxChannel& rxc = rx_[Index(m.from, id)];
+      const int64_t diff = static_cast<int64_t>(m.seq - rxc.expected);
+      if (diff == 0) {
+        out->push_back(std::move(m));
+        ++rxc.expected;
+        while (!rxc.reorder.empty() &&
+               rxc.reorder.begin()->first == rxc.expected) {
+          out->push_back(std::move(rxc.reorder.begin()->second));
+          rxc.reorder.erase(rxc.reorder.begin());
+          ++rxc.expected;
+        }
+        if (!rxc.ack_pending) {
+          rxc.ack_pending = true;
+          rxc.ack_deadline = now + options_.ack_delay_us;
+          wake = true;
+        }
+      } else if (diff < 0 || rxc.reorder.count(m.seq) != 0) {
+        // Stale or duplicate frame: the peer is (re)sending something we
+        // already have, so re-ack eagerly to shut its timer down.
+        stats().OnDuplicateDropped();
+        rxc.ack_pending = true;
+        rxc.ack_deadline = now;
+        wake = true;
+      } else if (rxc.reorder.size() < options_.reorder_window) {
+        rxc.reorder.emplace(m.seq, std::move(m));
+      }
+      // else: reorder window overflow — drop; go-back-N recovers it.
+    }
+  }
+  if (wake && options_.real_timers) timer_cv_.notify_all();
+  if (settled) settled_cv_.notify_all();
+}
+
+uint64_t ReliableNetwork::NextDeadlineLocked() const {
+  uint64_t next = kNoDeadline;
+  for (const TxChannel& tx : tx_) {
+    if (!tx.dead && !tx.unacked.empty()) next = std::min(next, tx.rto_deadline);
+  }
+  for (const RxChannel& rxc : rx_) {
+    if (rxc.ack_pending) next = std::min(next, rxc.ack_deadline);
+  }
+  return next;
+}
+
+void ReliableNetwork::FireDueLocked(
+    uint64_t now, std::vector<Message>* sends,
+    std::vector<std::pair<ProcessorId, ProcessorId>>* downs) {
+  // Deterministic firing order: tx channels then rx channels, both in
+  // (from, to) index order — required for replayable schedules.
+  for (size_t i = 0; i < tx_.size(); ++i) {
+    TxChannel& tx = tx_[i];
+    if (tx.dead || tx.unacked.empty() || tx.rto_deadline > now) continue;
+    const ProcessorId from = static_cast<ProcessorId>(i / num_processors_);
+    const ProcessorId to = static_cast<ProcessorId>(i % num_processors_);
+    if (tx.retries >= options_.max_retransmits) {
+      // Budget spent: declare the link down instead of hanging Settle().
+      tx.dead = true;
+      tx.unacked.clear();
+      tx.rto_deadline = kNoDeadline;
+      any_link_down_ = true;
+      stats().OnLinkDown();
+      downs->emplace_back(from, to);
+      continue;
+    }
+    ++tx.retries;
+    stats().OnRetransmit(tx.unacked.size());
+    for (const Message& pending : tx.unacked) {
+      Message copy = pending;
+      copy.flags |= Message::kRetransmit;
+      AttachAckLocked(&copy);
+      sends->push_back(std::move(copy));
+    }
+    tx.rto_deadline = now + BackoffUs(from, to, tx.retries);
+  }
+  for (size_t i = 0; i < rx_.size(); ++i) {
+    RxChannel& rxc = rx_[i];
+    if (!rxc.ack_pending || rxc.ack_deadline > now) continue;
+    const ProcessorId from = static_cast<ProcessorId>(i / num_processors_);
+    const ProcessorId to = static_cast<ProcessorId>(i % num_processors_);
+    Message ack;
+    ack.from = to;  // the rx channel's owner acks back to the sender
+    ack.to = from;
+    ack.flags = Message::kHasAck | Message::kAckOnly;
+    ack.ack = rxc.expected - 1;
+    rxc.ack_pending = false;
+    rxc.ack_deadline = kNoDeadline;
+    sends->push_back(std::move(ack));
+  }
+}
+
+void ReliableNetwork::DispatchDowns(
+    const std::vector<std::pair<ProcessorId, ProcessorId>>& downs) {
+  if (!on_link_down_) return;
+  for (const auto& [from, to] : downs) on_link_down_(from, to);
+}
+
+bool ReliableNetwork::Pump() {
+  if (options_.real_timers) return false;
+  EnsureChannels();
+  std::vector<Message> sends;
+  std::vector<std::pair<ProcessorId, ProcessorId>> downs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t next = NextDeadlineLocked();
+    if (next == kNoDeadline) return false;
+    if (next > virtual_now_us_) virtual_now_us_ = next;
+    FireDueLocked(virtual_now_us_, &sends, &downs);
+  }
+  for (Message& m : sends) base_->Send(std::move(m));
+  DispatchDowns(downs);
+  return !sends.empty() || !downs.empty();
+}
+
+void ReliableNetwork::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopped_) {
+    const uint64_t next = NextDeadlineLocked();
+    if (next == kNoDeadline) {
+      timer_cv_.wait(lock);
+      continue;
+    }
+    const uint64_t now = NowUs();
+    if (now < next) {
+      timer_cv_.wait_for(lock, std::chrono::microseconds(next - now));
+      continue;
+    }
+    std::vector<Message> sends;
+    std::vector<std::pair<ProcessorId, ProcessorId>> downs;
+    FireDueLocked(now, &sends, &downs);
+    lock.unlock();
+    for (Message& m : sends) base_->Send(std::move(m));
+    DispatchDowns(downs);
+    if (!downs.empty()) settled_cv_.notify_all();
+    lock.lock();
+  }
+}
+
+bool ReliableNetwork::AllSettledLocked() const {
+  for (const TxChannel& tx : tx_) {
+    if (!tx.dead && !tx.unacked.empty()) return false;
+  }
+  for (const RxChannel& rxc : rx_) {
+    if (rxc.ack_pending) return false;
+  }
+  return true;
+}
+
+bool ReliableNetwork::WaitQuiescent(std::chrono::milliseconds timeout) {
+  EnsureChannels();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    if (!base_->WaitQuiescent(remaining > std::chrono::milliseconds(0)
+                                  ? remaining
+                                  : std::chrono::milliseconds(0))) {
+      return false;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (AllSettledLocked()) return true;
+      if (options_.real_timers) {
+        if (std::chrono::steady_clock::now() >= deadline) return false;
+        // The timer thread owns firing; wait for acks/retransmits/link
+        // declarations to move the state, then re-check the base.
+        settled_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        continue;
+      }
+    }
+    // Virtual timers: fire the earliest deadline ourselves. Pump returning
+    // false with unsettled channels cannot happen (unacked windows and
+    // pending acks always carry deadlines) — bail out rather than spin.
+    if (!Pump()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      return AllSettledLocked();
+    }
+  }
+}
+
+bool ReliableNetwork::AnyLinkDown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return any_link_down_;
+}
+
+bool ReliableNetwork::IsLinkDown(ProcessorId from, ProcessorId to) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tx_.empty()) return false;
+  return tx_[Index(from, to)].dead;
+}
+
+size_t ReliableNetwork::Unacked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const TxChannel& tx : tx_) total += tx.unacked.size();
+  return total;
+}
+
+void ReliableNetwork::MixState(Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  fp.Mix(0x52454C4E45544D58ull);  // "RELNETMX"
+  for (const TxChannel& tx : tx_) {
+    fp.Mix(tx.next_seq);
+    fp.Mix(tx.unacked.size());
+    for (const Message& m : tx.unacked) fp.Mix(m.seq);
+    fp.Mix(tx.retries);
+    fp.Mix(tx.dead ? 1 : 0);
+    // Deadlines mix relative to the virtual clock: absolute times grow
+    // monotonically and would make every state unique.
+    fp.Mix(tx.rto_deadline == kNoDeadline
+               ? 0
+               : tx.rto_deadline - virtual_now_us_ + 1);
+  }
+  for (const RxChannel& rxc : rx_) {
+    fp.Mix(rxc.expected);
+    fp.Mix(rxc.reorder.size());
+    for (const auto& [seq, m] : rxc.reorder) fp.Mix(seq);
+    fp.Mix(rxc.ack_pending ? 1 : 0);
+    fp.Mix(rxc.ack_deadline == kNoDeadline
+               ? 0
+               : rxc.ack_deadline - virtual_now_us_ + 1);
+  }
+}
+
+}  // namespace lazytree::net

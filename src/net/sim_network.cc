@@ -140,11 +140,15 @@ bool SimNetwork::Step() {
   DeliveryOutcome outcome = DeliveryOutcome::kDeliver;
   std::optional<DeliveryOutcome> forced =
       strategy_ != nullptr ? strategy_->ForceOutcome() : std::nullopt;
+  // Self-sends model in-process work, not network traffic, and they bypass
+  // any reliable layer stacked above — never fault them (faults.cc holds
+  // the same line for the real fault injector).
+  const bool faultable = pick.first != pick.second;
   if (IsCrashed(pick.second)) {
     outcome = DeliveryOutcome::kCrashDrop;
   } else if (forced.has_value() && *forced != DeliveryOutcome::kCrashDrop) {
     outcome = *forced;
-  } else if (drop_prob_ > 0 && rng_.Chance(drop_prob_)) {
+  } else if (faultable && drop_prob_ > 0 && rng_.Chance(drop_prob_)) {
     outcome = DeliveryOutcome::kDrop;
   }
   if (observer_ != nullptr && outcome != DeliveryOutcome::kDeliver) {
@@ -166,7 +170,7 @@ bool SimNetwork::Step() {
   }
   const bool dup = forced.has_value()
                        ? outcome == DeliveryOutcome::kDuplicate
-                       : dup_prob_ > 0 && rng_.Chance(dup_prob_);
+                       : faultable && dup_prob_ > 0 && rng_.Chance(dup_prob_);
   if (observer_ != nullptr && outcome == DeliveryOutcome::kDeliver) {
     observer_->OnDelivery(pick.first, pick.second,
                           dup ? DeliveryOutcome::kDuplicate

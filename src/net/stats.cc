@@ -12,6 +12,10 @@ StatsSnapshot StatsSnapshot::operator-(const StatsSnapshot& rhs) const {
   d.piggybacked_actions = piggybacked_actions - rhs.piggybacked_actions;
   d.combined_actions = combined_actions - rhs.combined_actions;
   d.fastpath_reads = fastpath_reads - rhs.fastpath_reads;
+  d.retransmits = retransmits - rhs.retransmits;
+  d.duplicates_dropped = duplicates_dropped - rhs.duplicates_dropped;
+  d.acks_piggybacked = acks_piggybacked - rhs.acks_piggybacked;
+  d.link_down = link_down - rhs.link_down;
   for (size_t i = 0; i < actions_by_kind.size(); ++i) {
     d.actions_by_kind[i] = actions_by_kind[i] - rhs.actions_by_kind[i];
   }
@@ -25,6 +29,12 @@ std::string StatsSnapshot::ToString() const {
      << " piggybacked=" << piggybacked_actions
      << " combined=" << combined_actions
      << " fastpath_reads=" << fastpath_reads;
+  if (retransmits || duplicates_dropped || acks_piggybacked || link_down) {
+    os << " retransmits=" << retransmits
+       << " dups_dropped=" << duplicates_dropped
+       << " acks_piggybacked=" << acks_piggybacked
+       << " link_down=" << link_down;
+  }
   for (size_t i = 1; i < actions_by_kind.size(); ++i) {
     if (actions_by_kind[i] == 0) continue;
     os << " " << ActionKindName(static_cast<ActionKind>(i)) << "="
@@ -63,6 +73,22 @@ void NetworkStats::OnFastpathRead(size_t hops) {
   fastpath_reads_.fetch_add(hops, std::memory_order_relaxed);
 }
 
+void NetworkStats::OnRetransmit(size_t messages) {
+  retransmits_.fetch_add(messages, std::memory_order_relaxed);
+}
+
+void NetworkStats::OnDuplicateDropped() {
+  duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NetworkStats::OnAckPiggybacked() {
+  acks_piggybacked_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NetworkStats::OnLinkDown() {
+  link_down_.fetch_add(1, std::memory_order_relaxed);
+}
+
 StatsSnapshot NetworkStats::Snapshot() const {
   StatsSnapshot s;
   s.remote_messages = remote_messages_.load(std::memory_order_relaxed);
@@ -72,6 +98,10 @@ StatsSnapshot NetworkStats::Snapshot() const {
       piggybacked_actions_.load(std::memory_order_relaxed);
   s.combined_actions = combined_actions_.load(std::memory_order_relaxed);
   s.fastpath_reads = fastpath_reads_.load(std::memory_order_relaxed);
+  s.retransmits = retransmits_.load(std::memory_order_relaxed);
+  s.duplicates_dropped = duplicates_dropped_.load(std::memory_order_relaxed);
+  s.acks_piggybacked = acks_piggybacked_.load(std::memory_order_relaxed);
+  s.link_down = link_down_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < s.actions_by_kind.size(); ++i) {
     s.actions_by_kind[i] =
         actions_by_kind_[i].load(std::memory_order_relaxed);
@@ -88,6 +118,10 @@ void NetworkStats::Reset() {
   piggybacked_actions_.store(0, std::memory_order_relaxed);
   combined_actions_.store(0, std::memory_order_relaxed);
   fastpath_reads_.store(0, std::memory_order_relaxed);
+  retransmits_.store(0, std::memory_order_relaxed);
+  duplicates_dropped_.store(0, std::memory_order_relaxed);
+  acks_piggybacked_.store(0, std::memory_order_relaxed);
+  link_down_.store(0, std::memory_order_relaxed);
   for (auto& c : actions_by_kind_) c.store(0, std::memory_order_relaxed);
 }
 

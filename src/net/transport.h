@@ -73,7 +73,11 @@ class Network {
   /// the execution loop.
   virtual bool WaitQuiescent(std::chrono::milliseconds timeout) = 0;
 
-  NetworkStats& stats() { return stats_; }
+  /// Counter sink. Decorators (piggyback, faults, reliable) override this
+  /// to return the base transport's sink, so a whole decorator stack
+  /// reports through one set of counters no matter which layer a caller
+  /// holds.
+  virtual NetworkStats& stats() { return stats_; }
 
  protected:
   NetworkStats stats_;

@@ -15,6 +15,19 @@ namespace {
 
 using ChannelKey = std::pair<ProcessorId, ProcessorId>;
 
+/// One DFS decision: deliver the head of `channel`, or (bounded-drop mode)
+/// pop and discard it, leaving recovery to the reliable layer's
+/// retransmission timers. Drops are ordinary tree branches — deterministic,
+/// replayable, and counted against VerifyConfig::drop_budget.
+struct Choice {
+  ChannelKey channel;
+  bool drop = false;
+};
+
+inline bool operator==(const Choice& a, const Choice& b) {
+  return a.channel == b.channel && a.drop == b.drop;
+}
+
 /// Canonical fingerprint of the complete configuration at a decision
 /// point: every processor's store / op tracker / AAS registry / protocol
 /// handler, the shared history log, all in-flight messages, and the
@@ -24,7 +37,7 @@ using ChannelKey = std::pair<ProcessorId, ProcessorId>;
 /// the MixState implementations this composes.
 uint64_t StateFingerprint(Cluster& cluster, net::SimNetwork& sim,
                           const std::vector<EpisodeOp>& ops, uint32_t round,
-                          uint64_t picks) {
+                          uint64_t picks, uint64_t drops) {
   Fingerprint fp;
   for (ProcessorId p = 0; p < cluster.size(); ++p) {
     Processor& proc = cluster.processor(p);
@@ -39,9 +52,16 @@ uint64_t StateFingerprint(Cluster& cluster, net::SimNetwork& sim,
     if (proc.handler() != nullptr) proc.handler()->MixState(fp);
   }
   cluster.history_log().MixState(fp);
+  // Reliable-layer windows and timers are part of the configuration: two
+  // states equal in tree/history terms but differing in unacked frames or
+  // armed retransmit deadlines evolve differently once the pump fires.
+  if (cluster.reliable() != nullptr) cluster.reliable()->MixState(fp);
   sim.MixPending(fp);
   fp.Mix(round);
   fp.Mix(picks);
+  // Remaining drop budget distinguishes states: a state that can still
+  // drop has successors a budget-exhausted twin lacks.
+  fp.Mix(drops);
   fp.Mix(ops.size());
   for (const EpisodeOp& op : ops) {
     fp.Mix(op.done ? 1 : 0);
@@ -80,7 +100,7 @@ bool IndependentHeads(net::SimNetwork& sim, const ChannelKey& c1,
 /// One sampled independence decision, re-executed in both orders after the
 /// main exploration to confirm the states converge.
 struct CrossCheckRequest {
-  std::vector<ChannelKey> prefix;  ///< choices leading to the frame
+  std::vector<Choice> prefix;  ///< choices leading to the frame
   ChannelKey t1;
   ChannelKey t2;
 };
@@ -110,6 +130,7 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
       cut_ = false;
       round_ = 0;
       picks_this_round_ = 0;
+      drops_used_ = 0;
       pending_sleep_.clear();
     };
     h.on_quiescent = [this](Cluster& c, uint32_t round) {
@@ -129,6 +150,7 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
 
   size_t PickChannel(const std::vector<net::ChannelView>& views) override {
     ++stats_->transitions;
+    drop_next_ = false;
     size_t index;
     if (cut_) {
       index = 0;  // deterministic drain: lowest channel first
@@ -139,6 +161,14 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
     }
     ++picks_this_round_;
     return index;
+  }
+
+  /// Pins every outcome: the message just picked is delivered unless the
+  /// current DFS choice is a scripted drop. Never nullopt — the verifier
+  /// must own all delivery nondeterminism.
+  std::optional<net::DeliveryOutcome> ForceOutcome() override {
+    return drop_next_ ? net::DeliveryOutcome::kDrop
+                      : net::DeliveryOutcome::kDeliver;
   }
 
   /// Advances to the next unexplored schedule; false when the space is
@@ -163,16 +193,16 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
 
  private:
   struct Frame {
-    std::vector<ChannelKey> candidates;  ///< enabled \ sleep, in view order
-    std::vector<ChannelKey> sleep;       ///< transitions pruned here (POR)
-    size_t next = 0;                     ///< candidate explored this pass
-    uint64_t entry_fp = 0;               ///< state fingerprint on entry
+    std::vector<Choice> candidates;  ///< deliver choices, then drop choices
+    std::vector<ChannelKey> sleep;   ///< deliveries pruned here (POR)
+    size_t next = 0;                 ///< candidate explored this pass
+    uint64_t entry_fp = 0;           ///< state fingerprint on entry
     bool fence = false;  ///< crash-plan event within 2 deliveries
   };
 
   uint64_t Here() const {
     return StateFingerprint(*cluster_, *sim_, *ops_, round_,
-                            picks_this_round_);
+                            picks_this_round_, drops_used_);
   }
 
   /// A crash-plan event fires between deliveries once the round's step
@@ -201,26 +231,33 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
   /// transition already asleep or already fully explored here stays asleep
   /// iff it is independent of `chosen` (its head message is untouched by
   /// the delivery, so exploring it later from the child is redundant).
-  void ComputeChildSleep(const Frame& f, const ChannelKey& chosen) {
+  /// Drop choices never participate: a drop is not independent of anything
+  /// (it consumes budget and arms retransmission), so a chosen drop passes
+  /// an empty sleep set down and an explored drop puts nothing to sleep.
+  void ComputeChildSleep(const Frame& f, const Choice& chosen) {
     pending_sleep_.clear();
-    if (!config_.por || f.fence) return;
+    if (!config_.por || f.fence || chosen.drop) return;
     auto consider = [&](const ChannelKey& u) {
-      if (u == chosen) return;
+      if (u == chosen.channel) return;
       if (std::find(pending_sleep_.begin(), pending_sleep_.end(), u) !=
           pending_sleep_.end()) {
         return;
       }
-      if (IndependentHeads(*sim_, u, chosen)) pending_sleep_.push_back(u);
+      if (IndependentHeads(*sim_, u, chosen.channel)) {
+        pending_sleep_.push_back(u);
+      }
     };
     for (const ChannelKey& u : f.sleep) consider(u);
-    for (size_t i = 0; i < f.next; ++i) consider(f.candidates[i]);
+    for (size_t i = 0; i < f.next; ++i) {
+      if (!f.candidates[i].drop) consider(f.candidates[i].channel);
+    }
   }
 
   size_t ReplayPrefix(const std::vector<net::ChannelView>& views) {
     Frame& f = stack_[depth_];
     if (Here() != f.entry_fp) ++stats_->determinism_failures;
-    const ChannelKey chosen = f.candidates[f.next];
-    size_t index = IndexOf(views, chosen);
+    const Choice chosen = f.candidates[f.next];
+    size_t index = IndexOf(views, chosen.channel);
     if (index >= views.size()) {
       // The recorded choice is no longer enabled: the episode is not
       // re-executing deterministically. Count it and drain.
@@ -228,6 +265,7 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
       cut_ = true;
       return 0;
     }
+    TakeChoice(chosen);
     ComputeChildSleep(f, chosen);
     ++depth_;
     return index;
@@ -250,15 +288,6 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
       }
       ++stats_->states;
     }
-    for (const net::ChannelView& v : views) {
-      ChannelKey key{v.from, v.to};
-      if (config_.por &&
-          std::find(f.sleep.begin(), f.sleep.end(), key) != f.sleep.end()) {
-        ++stats_->pruned_sleep;
-        continue;
-      }
-      f.candidates.push_back(key);
-    }
     // Explore candidates in (to, from) order rather than the view's
     // (from, to) order: delivering inbound requests before outbound
     // fan-out lets multi-message backlogs form on coordinator->member
@@ -270,13 +299,36 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
     // tree. Pure search-order heuristic — every candidate is still
     // explored, so exhaustiveness and sleep-set soundness are unaffected.
     const int victim = config_.starve_victim;
-    std::stable_sort(f.candidates.begin(), f.candidates.end(),
+    std::vector<ChannelKey> enabled;
+    enabled.reserve(views.size());
+    for (const net::ChannelView& v : views) enabled.push_back({v.from, v.to});
+    std::stable_sort(enabled.begin(), enabled.end(),
                      [victim](const ChannelKey& a, const ChannelKey& b) {
                        int sa = victim >= 0 && a.second == victim ? 1 : 0;
                        int sb = victim >= 0 && b.second == victim ? 1 : 0;
                        return std::tie(sa, a.second, a.first) <
                               std::tie(sb, b.second, b.first);
                      });
+    for (const ChannelKey& key : enabled) {
+      if (config_.por &&
+          std::find(f.sleep.begin(), f.sleep.end(), key) != f.sleep.end()) {
+        ++stats_->pruned_sleep;
+        continue;
+      }
+      f.candidates.push_back({key, false});
+    }
+    // Deliver branches first, drop branches after: the leftmost DFS path
+    // stays the drop-free schedule, so the cheap sanity pass runs before
+    // any loss is explored. Drop choices ignore the sleep set — dropping a
+    // sleeping channel's head is NOT covered by the reordering argument
+    // that put the delivery to sleep. Self-channels are exempt: loopback
+    // models in-process work, bypasses the reliable layer, and is
+    // lossless by the paper's model.
+    if (drops_used_ < config_.drop_budget) {
+      for (const ChannelKey& key : enabled) {
+        if (key.first != key.second) f.candidates.push_back({key, true});
+      }
+    }
     if (f.candidates.empty()) {
       // Everything enabled sleeps: all schedules from this state are
       // covered through orders explored elsewhere. Drain.
@@ -284,9 +336,10 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
       return 0;
     }
     MaybeSampleCrossCheck(f);
-    const ChannelKey chosen = f.candidates[0];
-    size_t index = IndexOf(views, chosen);
+    const Choice chosen = f.candidates[0];
+    size_t index = IndexOf(views, chosen.channel);
     LAZYTREE_CHECK(index < views.size());
+    TakeChoice(chosen);
     ComputeChildSleep(f, chosen);
     stack_.push_back(std::move(f));
     ++depth_;
@@ -294,13 +347,25 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
     return index;
   }
 
+  /// Applies the side effects of committing to `chosen` for this delivery:
+  /// arms the forced outcome consumed by ForceOutcome and accounts budget.
+  void TakeChoice(const Choice& chosen) {
+    if (!chosen.drop) return;
+    drop_next_ = true;
+    ++drops_used_;
+    ++stats_->drops_injected;
+  }
+
   void MaybeSampleCrossCheck(const Frame& f) {
     if (!config_.por || cross_checks_.size() >= config_.cross_check_samples) {
       return;
     }
     for (size_t i = 0; i < f.candidates.size(); ++i) {
+      if (f.candidates[i].drop) continue;
       for (size_t j = i + 1; j < f.candidates.size(); ++j) {
-        if (!IndependentHeads(*sim_, f.candidates[i], f.candidates[j])) {
+        if (f.candidates[j].drop) continue;
+        if (!IndependentHeads(*sim_, f.candidates[i].channel,
+                              f.candidates[j].channel)) {
           continue;
         }
         CrossCheckRequest req;
@@ -308,8 +373,8 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
         for (size_t d = 0; d < depth_; ++d) {
           req.prefix.push_back(stack_[d].candidates[stack_[d].next]);
         }
-        req.t1 = f.candidates[i];
-        req.t2 = f.candidates[j];
+        req.t1 = f.candidates[i].channel;
+        req.t2 = f.candidates[j].channel;
         cross_checks_.push_back(std::move(req));
         return;
       }
@@ -326,28 +391,33 @@ class ExhaustiveStrategy : public net::ScheduleStrategy {
   bool cut_ = false;  ///< current execution switched to deterministic drain
   uint32_t round_ = 0;
   uint64_t picks_this_round_ = 0;
+  uint32_t drops_used_ = 0;  ///< scripted drops taken by this execution
+  bool drop_next_ = false;   ///< outcome armed for the message just picked
   std::vector<ChannelKey> pending_sleep_;  ///< sleep set for the next frame
   std::unordered_set<uint64_t> visited_;
   uint32_t first_violation_round_ = kNoViolationRound;
   std::vector<CrossCheckRequest> cross_checks_;
 };
 
-/// Delivers a fixed channel sequence, then drains deterministically
-/// (lowest channel first). Used to re-execute both orders of a sampled
-/// independent pair.
+/// Delivers a fixed choice sequence (channel + deliver/drop outcome), then
+/// drains deterministically (lowest channel first, everything delivered).
+/// Used to re-execute both orders of a sampled independent pair.
 class ForcedStrategy : public net::ScheduleStrategy {
  public:
-  explicit ForcedStrategy(std::vector<ChannelKey> forced)
+  explicit ForcedStrategy(std::vector<Choice> forced)
       : forced_(std::move(forced)) {}
 
   const char* name() const override { return "forced"; }
 
   size_t PickChannel(const std::vector<net::ChannelView>& views) override {
+    drop_next_ = false;
     if (cursor_ < forced_.size()) {
-      const ChannelKey& key = forced_[cursor_];
+      const Choice& c = forced_[cursor_];
       for (size_t i = 0; i < views.size(); ++i) {
-        if (views[i].from == key.first && views[i].to == key.second) {
+        if (views[i].from == c.channel.first &&
+            views[i].to == c.channel.second) {
           ++cursor_;
+          drop_next_ = c.drop;
           return i;
         }
       }
@@ -357,11 +427,17 @@ class ForcedStrategy : public net::ScheduleStrategy {
     return 0;
   }
 
+  std::optional<net::DeliveryOutcome> ForceOutcome() override {
+    return drop_next_ ? net::DeliveryOutcome::kDrop
+                      : net::DeliveryOutcome::kDeliver;
+  }
+
   uint64_t diverged() const { return diverged_; }
 
  private:
-  std::vector<ChannelKey> forced_;
+  std::vector<Choice> forced_;
   size_t cursor_ = 0;
+  bool drop_next_ = false;
   uint64_t diverged_ = 0;
 };
 
@@ -369,7 +445,7 @@ class ForcedStrategy : public net::ScheduleStrategy {
 /// final quiescent state (violation count mixed in). Two forced runs that
 /// differ only in the order of an independent pair must return equal
 /// values.
-uint64_t RunForced(const EpisodeConfig& episode, std::vector<ChannelKey> forced,
+uint64_t RunForced(const EpisodeConfig& episode, std::vector<Choice> forced,
                    bool* diverged) {
   ForcedStrategy strategy(std::move(forced));
   net::SimNetwork* sim = nullptr;
@@ -383,7 +459,7 @@ uint64_t RunForced(const EpisodeConfig& episode, std::vector<ChannelKey> forced,
     ops = &o;
   };
   hooks.on_quiescent = [&](Cluster& c, uint32_t round) {
-    final_fp = StateFingerprint(c, *sim, *ops, round, 0);
+    final_fp = StateFingerprint(c, *sim, *ops, round, 0, 0);
   };
   EpisodeResult result = RunEpisodeUnder(episode, &strategy, nullptr, hooks);
   *diverged = strategy.diverged() > 0;
@@ -420,13 +496,19 @@ std::string VerifyResult::Summary() const {
   if (stats.mutation_fired > 0) {
     s += " mutation_fired=" + std::to_string(stats.mutation_fired);
   }
+  if (stats.drops_injected > 0) {
+    s += " drops_injected=" + std::to_string(stats.drops_injected);
+  }
   s += " max_frontier=" + std::to_string(stats.max_frontier);
   return s;
 }
 
 VerifyResult VerifyExhaustive(const VerifyConfig& config) {
   LAZYTREE_CHECK(config.episode.drop == 0 && config.episode.dup == 0)
-      << "exhaustive verification needs deterministic delivery outcomes";
+      << "exhaustive verification needs deterministic delivery outcomes "
+         "(bounded loss goes through drop_budget, not probabilities)";
+  LAZYTREE_CHECK(config.drop_budget == 0 || config.episode.reliable)
+      << "bounded drops need the reliable layer to recover them";
   VerifyResult result;
   ExhaustiveStrategy strategy(config, &result.stats);
   EpisodeHooks hooks = strategy.hooks();
@@ -469,12 +551,12 @@ VerifyResult VerifyExhaustive(const VerifyConfig& config) {
   // Validate sampled independence decisions by running both orders.
   if (config.por && config.cross_check_samples > 0) {
     for (const CrossCheckRequest& req : strategy.TakeCrossChecks()) {
-      std::vector<ChannelKey> ab = req.prefix;
-      ab.push_back(req.t1);
-      ab.push_back(req.t2);
-      std::vector<ChannelKey> ba = req.prefix;
-      ba.push_back(req.t2);
-      ba.push_back(req.t1);
+      std::vector<Choice> ab = req.prefix;
+      ab.push_back({req.t1, false});
+      ab.push_back({req.t2, false});
+      std::vector<Choice> ba = req.prefix;
+      ba.push_back({req.t2, false});
+      ba.push_back({req.t1, false});
       bool diverged_ab = false;
       bool diverged_ba = false;
       uint64_t fp_ab = RunForced(config.episode, std::move(ab), &diverged_ab);

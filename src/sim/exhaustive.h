@@ -71,6 +71,17 @@ struct VerifyConfig {
   /// randomness would make re-execution nondeterministic); a crash plan is
   /// allowed and explored against every schedule.
   EpisodeConfig episode;
+  /// Bounded message loss: at most this many drops per schedule, explored
+  /// as explicit DFS decisions (every enabled channel forks a "deliver the
+  /// head" and a "drop the head" branch while budget remains). Unlike the
+  /// probabilistic episode.drop, scripted drops are deterministic, so the
+  /// prefix re-execution machinery is unaffected. Requires
+  /// episode.reliable: the reliable layer retransmits the dropped frame at
+  /// the next timer pump, and the §3.1 battery plus the oracle must stay
+  /// green on every schedule — the loss is recovered, not absorbed. Drop
+  /// decisions never enter sleep sets (dropping is not independent of
+  /// anything — it consumes retransmit budget), so POR stays sound.
+  uint32_t drop_budget = 0;
   /// Commutativity-guided sleep-set pruning. Off = plain exhaustive DFS.
   bool por = true;
   /// State-fingerprint deduplication of revisited states.
@@ -107,6 +118,7 @@ struct VerifyStats {
   uint64_t cross_check_failures = 0;  ///< ... that did not converge
   uint64_t determinism_failures = 0;  ///< prefix replay fingerprint drift
   uint64_t mutation_fired = 0;    ///< executions where a planted mutation hit
+  uint64_t drops_injected = 0;    ///< scripted drop transitions taken
   size_t max_frontier = 0;        ///< deepest DFS stack reached
 };
 

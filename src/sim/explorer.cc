@@ -86,6 +86,10 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
   // The episode's verification battery records violations for the trace /
   // report pipeline; the quiescence hook would abort on the first one.
   options.check_histories = false;
+  // The reliable layer under the sim transport uses virtual timers pumped
+  // at quiescent points, so its retransmissions and acks are part of the
+  // recorded schedule.
+  options.reliable = config.reliable ? 1 : 0;
 
   Cluster cluster(std::move(options));
   net::SimNetwork* sim = cluster.sim();
@@ -162,7 +166,14 @@ EpisodeResult RunEpisodeImpl(const EpisodeConfig& config,
         livelock = sim->Pending() > 0;
         return;
       }
-      if (!sim->Step()) break;
+      if (!sim->Step()) {
+        // Delivery frontier is dry: fire the reliable layer's earliest
+        // virtual timer (retransmit / delayed ack). Its sends re-enter
+        // the frontier as ordinary schedulable deliveries, so the round
+        // only ends once recovery has fully drained too.
+        if (!cluster.PumpNetworkTimers()) break;
+        continue;
+      }
       ++steps_used;
       ++steps_in_round;
     }
@@ -394,6 +405,7 @@ void FillTraceMeta(const EpisodeConfig& config, EpisodeResult& result) {
   // byte-for-byte.
   if (config.combine_ops) t.meta["combine_ops"] = "1";
   if (config.local_fastpath) t.meta["local_fastpath"] = "1";
+  if (config.reliable) t.meta["reliable"] = "1";
   if (config.shed_threshold > 0) {
     t.meta["shed_threshold"] = std::to_string(config.shed_threshold);
   }
@@ -454,9 +466,12 @@ EpisodeResult ReplayEpisode(const EpisodeConfig& config,
                             const ScheduleTrace& trace) {
   ReplayStrategy replay(trace);
   // Strict (oracle-exact) verification only applies when the replayed
-  // schedule injects nothing: a trace with faults or crashes legitimately
-  // fails/abandons operations, whatever config.crashes says.
-  const bool strict = config.clean() && trace.FaultCount() == 0 &&
+  // schedule injects nothing the system cannot recover from: a trace with
+  // crashes legitimately fails/abandons operations, whatever
+  // config.crashes says, and fault events only stay strict when the
+  // reliable layer is there to undo them.
+  const bool strict = config.clean() &&
+                      (config.reliable || trace.FaultCount() == 0) &&
                       trace.ControlCount() == 0;
   EpisodeResult result =
       RunEpisodeImpl(config, &replay, &replay, nullptr, strict, nullptr);

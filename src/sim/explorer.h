@@ -104,14 +104,22 @@ struct EpisodeConfig {
   /// Network fault probabilities (record mode only; replay pins outcomes).
   double drop = 0;
   double dup = 0;
+  /// Reliable-delivery layer (net/reliable.h) under the episode. With it
+  /// on, drop/dup faults are *recovered*: retransmissions and acks run as
+  /// deterministic virtual-timer events pumped at the schedule's
+  /// quiescent points, so fault-bearing traces still replay byte-for-byte
+  /// and the episode is held to the clean-run oracle standard.
+  bool reliable = false;
   std::vector<CrashEvent> crashes;
   /// Total delivery budget; exhausting it is reported as livelock.
   uint64_t step_budget = 2000000;
 
   /// True when every operation must complete and the oracle must match
   /// exactly (no injected faults, no crash plan, no planted mutation).
+  /// Drop/dup faults under the reliable layer count as clean: recovery is
+  /// the whole point, so the oracle must still match exactly.
   bool clean() const {
-    return drop == 0 && dup == 0 && crashes.empty() &&
+    return (reliable || (drop == 0 && dup == 0)) && crashes.empty() &&
            mutation == net::ScheduleMutation::kNone;
   }
 };

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -49,8 +50,9 @@ struct CliOptions {
   std::string mutation;             // planted mutation (verifier self-test)
   double drop = 0;
   double dup = 0;
+  bool reliable = false;  // recover drop/dup via the reliable layer
   uint32_t crashes = 0;
-  std::string trace_out = ".";      // directory for failure traces
+  std::string trace_out = "traces";  // directory for failure artifacts
   std::string replay_path;          // switches to replay mode
   std::string record_path;          // save first episode's trace here
   bool minimize = true;
@@ -65,9 +67,9 @@ void Usage() {
                "    [--processors=N] [--rounds=N] [--ops=N] [--keyspace=N]\n"
                "    [--fanout=N] [--pct-depth=N] [--leaf-replication=N]\n"
                "    [--shed=N] [--mutation=drop-relay|swap-ordered]\n"
-               "    [--drop=P] [--dup=P] [--crashes=N] [--trace-out=DIR]\n"
-               "    [--replay=TRACE] [--record=TRACE] [--no-minimize]\n"
-               "    [--multicore] [--verbose]\n");
+               "    [--drop=P] [--dup=P] [--reliable] [--crashes=N]\n"
+               "    [--trace-out=DIR] [--replay=TRACE] [--record=TRACE]\n"
+               "    [--no-minimize] [--multicore] [--verbose]\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -101,6 +103,7 @@ bool ParseCli(int argc, char** argv, CliOptions* cli) {
     else if (ParseFlag(arg, "trace-out", &v)) cli->trace_out = v;
     else if (ParseFlag(arg, "replay", &v)) cli->replay_path = v;
     else if (ParseFlag(arg, "record", &v)) cli->record_path = v;
+    else if (arg == "--reliable") cli->reliable = true;
     else if (arg == "--no-minimize") cli->minimize = false;
     else if (arg == "--minimize") cli->minimize = true;
     else if (arg == "--multicore") cli->multicore = true;
@@ -174,6 +177,7 @@ EpisodeConfig BuildConfig(const CliOptions& cli, ProtocolKind protocol,
   config.mutation = net::ParseScheduleMutation(cli.mutation);
   config.drop = cli.drop;
   config.dup = cli.dup;
+  config.reliable = cli.reliable;
   config.strategy.kind = strategy;
   config.strategy.seed = seed;
   config.strategy.pct_depth = cli.pct_depth;
@@ -213,6 +217,7 @@ std::string ReproCommand(const CliOptions& cli, const EpisodeConfig& config,
   cmd += " --fanout=" + std::to_string(config.fanout);
   cmd += " --leaf-replication=" + std::to_string(config.leaf_replication);
   if (config.combine_ops || config.local_fastpath) cmd += " --multicore";
+  if (config.reliable) cmd += " --reliable";
   (void)cli;
   return cmd;
 }
@@ -299,6 +304,10 @@ int RunReplay(const CliOptions& cli) {
       config.mutation = net::ParseScheduleMutation(it->second);
     }
   }
+  if (!cli.reliable) {
+    auto it = loaded->meta.find("reliable");
+    if (it != loaded->meta.end()) config.reliable = it->second == "1";
+  }
   EpisodeResult result = ReplayEpisode(config, *loaded);
   std::printf("replay %s: %s (%llu deliveries, %llu diverged)\n",
               cli.replay_path.c_str(), result.ok ? "PASS" : "FAIL",
@@ -366,6 +375,12 @@ int RunExplore(const CliOptions& cli) {
         ++failures;
         for (const std::string& v : result.violations) {
           std::printf("  violation: %s\n", v.c_str());
+        }
+        std::error_code mkdir_ec;
+        std::filesystem::create_directories(cli.trace_out, mkdir_ec);
+        if (mkdir_ec) {
+          std::printf("  trace dir %s: %s\n", cli.trace_out.c_str(),
+                      mkdir_ec.message().c_str());
         }
         std::string path = cli.trace_out + "/failure-" +
                            ProtocolKindName(protocol) + "-" +

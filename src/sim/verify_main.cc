@@ -39,6 +39,8 @@ struct CliOptions {
   uint32_t shed_threshold = 0;
   uint64_t seed = 1;
   std::string mutation;
+  uint32_t drop_budget = 0;  // bounded scripted loss (forces reliable on)
+  bool reliable = false;     // reliable-delivery layer under the episode
   bool por = true;
   bool dedup = true;
   uint64_t max_executions = 1000000;
@@ -55,8 +57,9 @@ void Usage() {
       "    [--rounds=N] [--ops=N] [--keyspace=N] [--fanout=N]\n"
       "    [--leaf-replication=N] [--shed=N] [--seed=N]\n"
       "    [--mutation=drop-relay|swap-ordered] [--no-por] [--no-dedup]\n"
-      "    [--max-executions=N] [--cross-checks=N] [--compare-naive]\n"
-      "    [--starve-victim=P] [--trace-out=FILE]\n"
+      "    [--drop-budget=N] [--reliable] [--max-executions=N]\n"
+      "    [--cross-checks=N] [--compare-naive] [--starve-victim=P]\n"
+      "    [--trace-out=FILE]\n"
       "with no --protocol: run the bounded verification battery\n");
 }
 
@@ -86,6 +89,8 @@ bool ParseCli(int argc, char** argv, CliOptions* cli) {
     else if (ParseFlag(arg, "cross-checks", &v)) cli->cross_checks = std::strtoul(v.c_str(), nullptr, 10);
     else if (ParseFlag(arg, "starve-victim", &v)) cli->starve_victim = std::atoi(v.c_str());
     else if (ParseFlag(arg, "trace-out", &v)) cli->trace_out = v;
+    else if (ParseFlag(arg, "drop-budget", &v)) cli->drop_budget = std::strtoul(v.c_str(), nullptr, 10);
+    else if (arg == "--reliable") cli->reliable = true;
     else if (arg == "--no-por") cli->por = false;
     else if (arg == "--no-dedup") cli->dedup = false;
     else if (arg == "--compare-naive") cli->compare_naive = true;
@@ -170,7 +175,7 @@ bool RunExpecting(const char* label, const VerifyConfig& config,
 
 int RunBattery() {
   struct Item {
-    const char* label;
+    std::string label;
     VerifyConfig config;
     bool expect_violation;
   };
@@ -180,6 +185,21 @@ int RunBattery() {
         ProtocolKind::kMobile, ProtocolKind::kVarCopies}) {
     items.push_back({ProtocolKindName(protocol), BoundedConfig(protocol),
                      /*expect_violation=*/false});
+  }
+  // Bounded loss: the same protocols with a drop budget of 1 and the
+  // reliable layer recovering every loss. Each DFS frame forks a drop
+  // branch per enabled channel and retransmission deepens schedules, so
+  // the episode is one op smaller; every schedule — including every
+  // placement of the drop — must stay §3.1-green and oracle-exact.
+  for (ProtocolKind protocol :
+       {ProtocolKind::kSyncSplit, ProtocolKind::kSemiSyncSplit,
+        ProtocolKind::kMobile, ProtocolKind::kVarCopies}) {
+    Item lossy{std::string(ProtocolKindName(protocol)) + "-drop1",
+               BoundedConfig(protocol), /*expect_violation=*/false};
+    lossy.config.episode.ops_per_round = 3;
+    lossy.config.episode.reliable = true;
+    lossy.config.drop_budget = 1;
+    items.push_back(std::move(lossy));
   }
   {
     Item drop{"selftest-drop-relay", BoundedConfig(ProtocolKind::kSemiSyncSplit),
@@ -209,7 +229,8 @@ int RunBattery() {
 
   int failures = 0;
   for (const Item& item : items) {
-    if (!RunExpecting(item.label, item.config, item.expect_violation, "")) {
+    if (!RunExpecting(item.label.c_str(), item.config, item.expect_violation,
+                      "")) {
       ++failures;
     }
   }
@@ -235,6 +256,8 @@ int RunSingle(const CliOptions& cli) {
   config.episode.shed_threshold = cli.shed_threshold;
   config.episode.mutation = net::ParseScheduleMutation(cli.mutation);
   config.episode.step_budget = 100000;
+  config.episode.reliable = cli.reliable || cli.drop_budget > 0;
+  config.drop_budget = cli.drop_budget;
   config.por = cli.por;
   config.dedup = cli.dedup;
   config.cross_check_samples = cli.cross_checks;

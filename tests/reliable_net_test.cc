@@ -1,0 +1,298 @@
+// Nasty-edge tests for the reliable-delivery layer (net/reliable.h) and
+// its interaction with fault injection (net/faults.h) and the cluster:
+//
+//   * dedup-window wraparound at sequence-number overflow,
+//   * the cumulative ack riding the last in-flight (reverse) message,
+//   * a retransmission racing the original's late delivery,
+//   * a partition window healing in the middle of a leaf split,
+//   * bounded retransmit budget: link-down fails pending ops with a
+//     retriable status instead of hanging Settle(),
+//   * fault-bearing episode traces recording byte-for-byte identically
+//     and replaying without divergence.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/net/faults.h"
+#include "src/net/reliable.h"
+#include "src/net/sim_network.h"
+#include "src/sim/explorer.h"
+
+namespace lazytree {
+namespace {
+
+/// Records (from, key) sequences; optional reply hook for reverse traffic.
+class Recorder : public net::Receiver {
+ public:
+  void Deliver(Message m) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Action& a : m.actions) {
+      keys_.push_back(a.key);
+      ++total_;
+    }
+    if (hook_) hook_(m);
+  }
+  void SetHook(std::function<void(const Message&)> hook) {
+    hook_ = std::move(hook);
+  }
+  std::vector<Key> keys() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return keys_;
+  }
+  size_t total() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::function<void(const Message&)> hook_;
+  std::vector<Key> keys_;
+  size_t total_ = 0;
+};
+
+Action KeyedAction(Key k) {
+  Action a;
+  a.kind = ActionKind::kSearch;
+  a.key = k;
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Sequence overflow: the dedup window and the reorder buffer must survive
+// next_seq wrapping past UINT64_MAX, because both compare sequence numbers
+// with serial arithmetic, not magnitude.
+TEST(ReliableNetTest, DedupWindowSurvivesSequenceWraparound) {
+  net::SimNetwork sim(7);
+  net::FaultPlan plan;
+  plan.drop = 0.25;      // force retransmissions across the wrap
+  plan.duplicate = 0.5;  // force dedup decisions across the wrap
+  plan.seed = 3;
+  net::FaultyNetwork faulty(&sim, plan);
+  net::ReliabilityOptions ropt;
+  ropt.initial_seq = UINT64_MAX - 3;  // wrap after four sends
+  net::ReliableNetwork reliable(&faulty, ropt);
+
+  Recorder r0, r1;
+  reliable.Register(0, &r0);
+  reliable.Register(1, &r1);
+  reliable.Start();
+  constexpr Key kCount = 16;
+  for (Key k = 0; k < kCount; ++k) {
+    reliable.Send(Message(0, 1, KeyedAction(k)));
+  }
+  ASSERT_TRUE(reliable.WaitQuiescent(std::chrono::milliseconds(10000)));
+
+  // The fault layer really misbehaved...
+  EXPECT_GT(faulty.dropped() + faulty.duplicated(), 0u);
+  // ...and exactly-once FIFO still held across the numeric wrap.
+  auto keys = r1.keys();
+  ASSERT_EQ(keys.size(), kCount);
+  for (Key k = 0; k < kCount; ++k) EXPECT_EQ(keys[k], k);
+  EXPECT_EQ(reliable.Unacked(), 0u);
+  reliable.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Ack piggybacking: when the receiver happens to send reverse data while
+// its delayed ack is still pending, the ack must ride that message — the
+// last in-flight frame — instead of waiting for the pure-ack timer.
+TEST(ReliableNetTest, AckRidesLastInflightReverseMessage) {
+  net::SimNetwork sim(7);
+  net::ReliableNetwork reliable(&sim, net::ReliabilityOptions{});
+
+  Recorder r0, r1;
+  // Every delivery at p1 answers with one reverse message.
+  r1.SetHook([&](const Message& m) {
+    reliable.Send(Message(1, 0, KeyedAction(m.actions.front().key + 100)));
+  });
+  reliable.Register(0, &r0);
+  reliable.Register(1, &r1);
+  reliable.Start();
+
+  reliable.Send(Message(0, 1, KeyedAction(1)));
+  ASSERT_TRUE(sim.Step());  // deliver the data; the hook sends the reply
+  EXPECT_EQ(reliable.stats().Snapshot().acks_piggybacked, 1u)
+      << "the pending ack must ride the reply, not a pure-ack frame";
+
+  ASSERT_TRUE(sim.Step());  // deliver the reply: its ack empties 0->1
+  EXPECT_EQ(reliable.Unacked(), 1u) << "only the reply itself is unacked";
+
+  // Drain: the reply's own ack is the only remaining timer work.
+  ASSERT_TRUE(reliable.WaitQuiescent(std::chrono::milliseconds(5000)));
+  EXPECT_EQ(reliable.Unacked(), 0u);
+  EXPECT_EQ(r0.total(), 1u);
+  EXPECT_EQ(r1.total(), 1u);
+  reliable.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Retransmit vs late original: fire the retransmission timer while the
+// original is still sitting undelivered in the base transport, so both
+// copies are in flight on the same channel. Exactly one may surface.
+TEST(ReliableNetTest, RetransmitRacingLateOriginalIsDeduped) {
+  net::SimNetwork sim(7);
+  net::ReliableNetwork reliable(&sim, net::ReliabilityOptions{});
+  Recorder r0, r1;
+  reliable.Register(0, &r0);
+  reliable.Register(1, &r1);
+  reliable.Start();
+
+  reliable.Send(Message(0, 1, KeyedAction(7)));
+  // The original is queued in the simulator, "late". Advance the virtual
+  // clock to the retransmission deadline: a second copy joins it.
+  ASSERT_TRUE(reliable.Pump());
+  EXPECT_EQ(reliable.stats().Snapshot().retransmits, 1u);
+
+  ASSERT_TRUE(reliable.WaitQuiescent(std::chrono::milliseconds(5000)));
+  EXPECT_EQ(r1.total(), 1u) << "exactly one of the two copies delivers";
+  EXPECT_EQ(reliable.stats().Snapshot().duplicates_dropped, 1u);
+  EXPECT_EQ(reliable.Unacked(), 0u);
+  reliable.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Partition healing mid-split: a send-index partition window blackholes
+// the inter-processor link exactly while a leaf split's relayed traffic is
+// in flight. Retransmissions burn through the window; once it heals, every
+// operation completes and the §3.1 battery is green.
+TEST(ReliableNetTest, PartitionHealsMidSplit) {
+  ClusterOptions options;
+  options.processors = 2;
+  options.protocol = ProtocolKind::kSemiSyncSplit;
+  options.transport = TransportKind::kSim;
+  options.seed = 5;
+  options.tree.max_entries = 4;       // splits arrive quickly
+  options.tree.leaf_replication = 2;  // relayed lazy updates cross the link
+  net::FaultPlan::Partition window;
+  window.a = 0;
+  window.b = 1;
+  window.start = 2;  // the bootstrap traffic passes, the split hits the wall
+  window.length = 4;
+  options.faults.partitions.push_back(window);  // activates reliable layer
+  // Both directions of the pair carry a window, and pure acks blackholed on
+  // the reverse direction keep the sender's retry counter climbing until an
+  // eager re-ack finally gets through — budget for both windows.
+  options.reliability.max_retransmits = 25;
+
+  Cluster cluster(options);
+  cluster.Start();
+  for (Key k = 0; k < 12; ++k) {
+    ASSERT_TRUE(cluster.Insert(0, k * 7 + 1, k).ok()) << "key " << k * 7 + 1;
+  }
+  ASSERT_TRUE(cluster.Settle());
+  ASSERT_NE(cluster.faulty(), nullptr);
+  ASSERT_NE(cluster.reliable(), nullptr);
+  EXPECT_GT(cluster.faulty()->partitioned(), 0u)
+      << "the window must actually have blackholed messages";
+  auto snap = cluster.NetStats();
+  EXPECT_GT(snap.retransmits, 0u) << "healing is retransmission-driven";
+  EXPECT_EQ(snap.link_down, 0u) << "the window must heal within budget";
+  EXPECT_FALSE(cluster.reliable()->AnyLinkDown());
+  for (Key k = 0; k < 12; ++k) {
+    auto found = cluster.Search(1, k * 7 + 1);
+    ASSERT_TRUE(found.ok()) << "key " << k * 7 + 1;
+    EXPECT_EQ(*found, k);
+  }
+  EXPECT_TRUE(cluster.VerifyHistories().violations.empty());
+  cluster.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: a permanent partition exhausts the retransmit
+// budget, the link is declared down, pending operations fail with the
+// retriable kUnavailable status, and Settle() returns instead of hanging.
+TEST(ReliableNetTest, LinkDownFailsPendingOpsWithRetriableStatus) {
+  ClusterOptions options;
+  options.processors = 2;
+  options.protocol = ProtocolKind::kSemiSyncSplit;
+  options.transport = TransportKind::kSim;
+  options.seed = 5;
+  options.tree.max_entries = 8;
+  net::FaultPlan::Partition forever;
+  forever.a = 0;
+  forever.b = 1;
+  forever.start = 0;
+  forever.length = UINT64_MAX / 2;  // never heals
+  options.faults.partitions.push_back(forever);
+  options.reliability.max_retransmits = 3;  // die fast
+
+  Cluster cluster(options);
+  cluster.Start();
+  std::vector<OpResult> results(8);
+  std::vector<bool> done(8, false);
+  for (Key k = 0; k < 8; ++k) {
+    // Half the ops are homed at p1, whose navigation must cross the dead
+    // link; the p0-homed half stays local and must keep succeeding.
+    const ProcessorId home = (k < 4) ? 0 : 1;
+    cluster.InsertAsync(home, k, k, [&results, &done, k](const OpResult& res) {
+      results[k] = res;
+      done[k] = true;
+    });
+  }
+  EXPECT_TRUE(cluster.Settle()) << "a dead link must not hang Settle()";
+
+  ASSERT_NE(cluster.reliable(), nullptr);
+  EXPECT_TRUE(cluster.reliable()->AnyLinkDown());
+  auto snap = cluster.NetStats();
+  EXPECT_GT(snap.link_down, 0u);
+  size_t unavailable = 0;
+  for (Key k = 0; k < 8; ++k) {
+    ASSERT_TRUE(done[k]) << "op " << k << " neither completed nor failed";
+    if (results[k].status.code() == StatusCode::kUnavailable) ++unavailable;
+  }
+  EXPECT_GT(unavailable, 0u)
+      << "cross-link ops must fail retriable, not silently vanish";
+  cluster.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a fault-bearing episode under the reliable layer records
+// the identical trace twice and replays without divergence — drops, dups,
+// retransmissions, and virtual-timer firings are all schedulable events.
+TEST(ReliableNetTest, FaultBearingTraceRecordsAndReplaysByteForByte) {
+  sim::EpisodeConfig config;
+  config.protocol = ProtocolKind::kSemiSyncSplit;
+  config.processors = 3;
+  config.seed = 11;
+  config.rounds = 2;
+  config.ops_per_round = 12;
+  config.key_space = 64;
+  config.fanout = 4;
+  config.leaf_replication = 2;
+  config.drop = 0.05;
+  config.dup = 0.05;
+  config.reliable = true;
+  ASSERT_TRUE(config.clean())
+      << "recovered faults hold the episode to the oracle-exact standard";
+
+  sim::EpisodeResult first = sim::RunEpisode(config);
+  sim::EpisodeResult second = sim::RunEpisode(config);
+  EXPECT_TRUE(first.ok) << (first.violations.empty()
+                                ? "?"
+                                : first.violations.front());
+  EXPECT_GT(first.trace.FaultCount(), 0u)
+      << "the config must actually inject faults";
+  EXPECT_EQ(first.trace.events, second.trace.events)
+      << "same config, same seed => byte-identical schedule";
+  EXPECT_EQ(first.trace.meta, second.trace.meta);
+  auto meta = first.trace.meta.find("reliable");
+  ASSERT_NE(meta, first.trace.meta.end());
+  EXPECT_EQ(meta->second, "1");
+
+  sim::EpisodeResult replayed = sim::ReplayEpisode(config, first.trace);
+  EXPECT_TRUE(replayed.ok) << (replayed.violations.empty()
+                                   ? "?"
+                                   : replayed.violations.front());
+  EXPECT_EQ(replayed.replay_diverged, 0u);
+}
+
+}  // namespace
+}  // namespace lazytree

@@ -3,7 +3,10 @@
 // delivery — plus the repo's own contract extensions (reentrant Send from
 // Deliver, WaitQuiescent). Runs against the zero-copy ThreadNetwork fast
 // path, the checked (wire round-trip) ThreadNetwork mode, and SimNetwork,
-// so the PR-2 transport rewrite cannot silently weaken any of them.
+// so the PR-2 transport rewrite cannot silently weaken any of them — and
+// against both base transports wrapped in FaultyNetwork (5% drop +
+// duplicate + reorder + delay) under ReliableNetwork, which must restore
+// the exact same contract over the lossy links.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/net/faults.h"
+#include "src/net/reliable.h"
 #include "src/net/sim_network.h"
 #include "src/net/thread_network.h"
 
@@ -25,6 +30,8 @@ enum class TransportUnderTest {
   kSim,
   kThreadFast,
   kThreadChecked,
+  kSimLossy,     // Sim base + FaultyNetwork + ReliableNetwork (virtual timers)
+  kThreadLossy,  // Thread base + FaultyNetwork + ReliableNetwork (real timers)
 };
 
 const char* TransportName(TransportUnderTest t) {
@@ -32,9 +39,57 @@ const char* TransportName(TransportUnderTest t) {
     case TransportUnderTest::kSim: return "Sim";
     case TransportUnderTest::kThreadFast: return "ThreadFast";
     case TransportUnderTest::kThreadChecked: return "ThreadChecked";
+    case TransportUnderTest::kSimLossy: return "SimLossy";
+    case TransportUnderTest::kThreadLossy: return "ThreadLossy";
   }
   return "?";
 }
+
+net::FaultPlan LossyPlan() {
+  net::FaultPlan plan;
+  plan.drop = 0.05;
+  plan.duplicate = 0.05;
+  plan.reorder = 0.05;
+  plan.delay = 0.02;
+  plan.seed = 11;
+  return plan;
+}
+
+/// The lossy stack under test: base transport, a FaultyNetwork breaking
+/// its links, and a ReliableNetwork restoring the §4 contract on top.
+/// Declaration order is destruction-order-critical (reverse of wrapping).
+class LossyTransport : public net::Network {
+ public:
+  LossyTransport(std::unique_ptr<net::Network> base, bool real_timers)
+      : base_(std::move(base)),
+        faulty_(std::make_unique<net::FaultyNetwork>(base_.get(),
+                                                     LossyPlan())) {
+    net::ReliabilityOptions ropt;
+    ropt.real_timers = real_timers;
+    reliable_ =
+        std::make_unique<net::ReliableNetwork>(faulty_.get(), ropt);
+  }
+
+  void Register(ProcessorId id, net::Receiver* receiver) override {
+    reliable_->Register(id, receiver);
+  }
+  ProcessorId size() const override { return reliable_->size(); }
+  void Send(Message m) override { reliable_->Send(std::move(m)); }
+  void Start() override { reliable_->Start(); }
+  void Stop() override { reliable_->Stop(); }
+  bool WaitQuiescent(std::chrono::milliseconds timeout) override {
+    return reliable_->WaitQuiescent(timeout);
+  }
+  net::NetworkStats& stats() override { return reliable_->stats(); }
+
+  net::FaultyNetwork& faulty() { return *faulty_; }
+  net::ReliableNetwork& reliable() { return *reliable_; }
+
+ private:
+  std::unique_ptr<net::Network> base_;
+  std::unique_ptr<net::FaultyNetwork> faulty_;
+  std::unique_ptr<net::ReliableNetwork> reliable_;
+};
 
 std::unique_ptr<net::Network> MakeTransport(TransportUnderTest t,
                                             bool byte_stats = false) {
@@ -47,12 +102,27 @@ std::unique_ptr<net::Network> MakeTransport(TransportUnderTest t,
     case TransportUnderTest::kThreadChecked:
       return std::make_unique<net::ThreadNetwork>(
           net::ThreadNetwork::Options{.checked_wire = true});
+    case TransportUnderTest::kSimLossy:
+      return std::make_unique<LossyTransport>(
+          std::make_unique<net::SimNetwork>(7), /*real_timers=*/false);
+    case TransportUnderTest::kThreadLossy:
+      return std::make_unique<LossyTransport>(
+          std::make_unique<net::ThreadNetwork>(net::ThreadNetwork::Options{
+              .checked_wire = false, .byte_stats = byte_stats}),
+          /*real_timers=*/true);
   }
   return nullptr;
 }
 
 bool IsThreaded(TransportUnderTest t) {
-  return t != TransportUnderTest::kSim;
+  return t == TransportUnderTest::kThreadFast ||
+         t == TransportUnderTest::kThreadChecked ||
+         t == TransportUnderTest::kThreadLossy;
+}
+
+bool IsLossy(TransportUnderTest t) {
+  return t == TransportUnderTest::kSimLossy ||
+         t == TransportUnderTest::kThreadLossy;
 }
 
 /// Thread-safe sink recording (from, key) sequences and total count.
@@ -189,7 +259,10 @@ TEST_P(TransportConformanceTest, QuiescenceUnderSendStorm) {
 }
 
 TEST_P(TransportConformanceTest, SendDuringStopIsAccounted) {
-  if (!IsThreaded(GetParam())) GTEST_SKIP() << "thread transport only";
+  if (!IsThreaded(GetParam()) || IsLossy(GetParam())) {
+    GTEST_SKIP() << "bare thread transport only: the reliable layer cannot "
+                    "settle windows whose acks died with the transport";
+  }
   auto net = MakeTransport(GetParam());
   Recorder r0, r1;
   net->Register(0, &r0);
@@ -215,6 +288,11 @@ TEST_P(TransportConformanceTest, SendDuringStopIsAccounted) {
 }
 
 TEST_P(TransportConformanceTest, StatsCountRemoteLocalAndBytes) {
+  if (IsLossy(GetParam())) {
+    GTEST_SKIP() << "lossy stack: retransmits and acks make exact message "
+                    "counts fault-schedule-dependent (see "
+                    "LossyRecoveryIsObservable)";
+  }
   // Byte accounting is opt-in on the thread fast path; this test asserts
   // the accounting itself, so switch it on.
   auto net = MakeTransport(GetParam(), /*byte_stats=*/true);
@@ -234,11 +312,58 @@ TEST_P(TransportConformanceTest, StatsCountRemoteLocalAndBytes) {
   net->Stop();
 }
 
+TEST_P(TransportConformanceTest, LossyRecoveryIsObservable) {
+  if (!IsLossy(GetParam())) GTEST_SKIP() << "lossy stack only";
+  auto net = MakeTransport(GetParam());
+  auto* lossy = static_cast<LossyTransport*>(net.get());
+  constexpr ProcessorId kProcs = 3;
+  constexpr Key kRounds = 300;
+  std::vector<std::unique_ptr<Recorder>> sinks;
+  for (ProcessorId id = 0; id < kProcs; ++id) {
+    sinks.push_back(std::make_unique<Recorder>());
+    net->Register(id, sinks.back().get());
+  }
+  // Ping-pong on every ordered pair: replies are reverse data traffic, so
+  // cumulative acks ride them (piggybacked) instead of pure-ack frames.
+  auto bounce = [&](const Message& m) {
+    for (const Action& a : m.actions) {
+      if (a.key < kRounds) {
+        net->Send(Message(m.to, m.from, KeyedAction(a.key + 1)));
+      }
+    }
+  };
+  for (auto& sink : sinks) sink->SetHook(bounce);
+  net->Start();
+  for (ProcessorId from = 0; from < kProcs; ++from) {
+    for (ProcessorId to = 0; to < kProcs; ++to) {
+      if (from != to) net->Send(Message(from, to, KeyedAction(0)));
+    }
+  }
+  ASSERT_TRUE(net->WaitQuiescent(std::chrono::milliseconds(20000)));
+  // Recovery was real: the fault layer injected, the reliable layer paid.
+  EXPECT_GT(lossy->faulty().dropped(), 0u);
+  EXPECT_GT(lossy->faulty().duplicated(), 0u);
+  auto snap = net->stats().Snapshot();
+  EXPECT_GT(snap.retransmits, 0u) << "drops must force retransmissions";
+  EXPECT_GT(snap.duplicates_dropped, 0u)
+      << "injected duplicates must be suppressed by the dedup window";
+  EXPECT_GT(snap.acks_piggybacked, 0u);
+  EXPECT_EQ(snap.link_down, 0u) << "no link may die at 5% loss";
+  // And the contract still held: exactly-once despite all of the above.
+  // Each ordered pair's chain delivers keys 0..kRounds exactly once.
+  for (ProcessorId to = 0; to < kProcs; ++to) {
+    EXPECT_EQ(sinks[to]->total(), (kRounds + 1) * (kProcs - 1));
+  }
+  net->Stop();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllTransports, TransportConformanceTest,
     ::testing::Values(TransportUnderTest::kSim,
                       TransportUnderTest::kThreadFast,
-                      TransportUnderTest::kThreadChecked),
+                      TransportUnderTest::kThreadChecked,
+                      TransportUnderTest::kSimLossy,
+                      TransportUnderTest::kThreadLossy),
     [](const ::testing::TestParamInfo<TransportUnderTest>& info) {
       return TransportName(info.param);
     });
